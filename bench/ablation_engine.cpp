@@ -1,0 +1,60 @@
+// google-benchmark microbenchmark: discrete-event engine throughput.
+//
+// Everything in the reproduction is built on the event engine; this keeps
+// its costs visible (events/sec drives how large a cluster the motif
+// benches can simulate per wall-second).
+#include <benchmark/benchmark.h>
+
+#include "sim/engine.hpp"
+
+using rvma::sim::Engine;
+
+namespace {
+
+void BM_ScheduleRunChain(benchmark::State& state) {
+  // A serial chain of N events (the pattern of a packet hopping switches).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    int depth = 0;
+    std::function<void()> hop = [&] {
+      if (++depth < n) engine.schedule(100, hop);
+    };
+    engine.schedule(0, hop);
+    engine.run();
+    benchmark::DoNotOptimize(depth);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleRunChain)->Arg(1000)->Arg(100000);
+
+void BM_ScheduleRunFanout(benchmark::State& state) {
+  // N independent events at random-ish times (heap stress).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule_at(static_cast<rvma::Time>((i * 2654435761u) % 1000000),
+                         [&sink] { ++sink; });
+    }
+    engine.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScheduleRunFanout)->Arg(1000)->Arg(100000);
+
+void BM_EmptyEventOverhead(benchmark::State& state) {
+  Engine engine;
+  for (auto _ : state) {
+    engine.schedule(1, [] {});
+    engine.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmptyEventOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Extension table (beyond the paper's figures): RVMA vs RDMA on collective
+// patterns — dissemination barrier, ring allreduce, binomial broadcast.
+//
+// Collectives are chains of small dependent messages, the workload class
+// the paper's Sweep3D result suggests benefits most; this table checks the
+// conclusion generalizes.
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "motifs/collectives.hpp"
+#include "motifs/rdma_transport.hpp"
+#include "motifs/runner.hpp"
+#include "motifs/rvma_transport.hpp"
+
+using namespace rvma;
+using namespace rvma::motifs;
+
+namespace {
+
+Time run_once(const std::vector<RankProgram>& programs, int nodes,
+              net::Routing routing, Bandwidth bw, bool use_rvma) {
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kDragonfly;
+  cfg.routing = routing;
+  cfg.nodes_hint = nodes;
+  cfg.link.bw = bw;
+  cfg.seed = 11;
+  nic::Cluster cluster(cfg, nic::NicParams{});
+  if (use_rvma) {
+    RvmaTransport transport(cluster, core::RvmaParams{});
+    return MotifRunner(cluster, transport, programs).run().makespan;
+  }
+  RdmaTransport transport(cluster, rdma::RdmaParams{},
+                          routing == net::Routing::kStatic, 2);
+  return MotifRunner(cluster, transport, programs).run().makespan;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 32));
+  for (const auto& key : cli.unconsumed()) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  struct Entry {
+    const char* name;
+    std::vector<RankProgram> programs;
+  };
+  BarrierConfig barrier_cfg;
+  barrier_cfg.ranks = ranks;
+  barrier_cfg.iterations = 8;
+  AllReduceConfig allreduce_cfg;
+  allreduce_cfg.ranks = ranks;
+  allreduce_cfg.bytes = 1 * MiB;
+  allreduce_cfg.iterations = 2;
+  BroadcastConfig bcast_cfg;
+  bcast_cfg.ranks = ranks;
+  bcast_cfg.bytes = 64 * KiB;
+  bcast_cfg.iterations = 8;
+
+  const std::vector<Entry> entries = {
+      {"barrier(8 iters)", build_barrier(barrier_cfg)},
+      {"allreduce(1MiB x2)", build_allreduce(allreduce_cfg)},
+      {"broadcast(64KiB x8)", build_broadcast(bcast_cfg)},
+  };
+
+  std::printf("Extension: collectives on adaptive dragonfly, %d ranks, "
+              "RVMA vs RDMA\n\n",
+              ranks);
+  Table table({"collective", "100G rdma us", "rvma us", "speedup",
+               "2T rdma us", "rvma us", "speedup"});
+  RunningStat speedups;
+  for (const Entry& entry : entries) {
+    std::vector<std::string> row = {entry.name};
+    for (double gbps : {100.0, 2000.0}) {
+      const Bandwidth bw = Bandwidth::gbps(gbps);
+      const Time rdma =
+          run_once(entry.programs, ranks, net::Routing::kAdaptive, bw, false);
+      const Time rvma =
+          run_once(entry.programs, ranks, net::Routing::kAdaptive, bw, true);
+      const double speedup =
+          static_cast<double>(rdma) / static_cast<double>(rvma);
+      speedups.add(speedup);
+      row.push_back(Table::num(to_us(rdma), 1));
+      row.push_back(Table::num(to_us(rvma), 1));
+      row.push_back(Table::num(speedup, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\naverage collective speedup: %.2fx\n", speedups.mean());
+  return 0;
+}

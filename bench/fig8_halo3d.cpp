@@ -1,0 +1,37 @@
+// Figure 8 — RVMA vs RDMA, Halo3D motif.
+//
+// Paper setup: same SST environment as Figure 7; Halo3D is the
+// bandwidth-bound 3-D face-exchange pattern, so topology matters more and
+// the RVMA advantage is smaller than for the latency-bound sweep. Paper
+// headlines: 1.57x mean speedup; best cases on HyperX DOR — 1.64x at
+// 400 Gbps and 1.89x at 2 Tbps.
+//
+// Default scale 64 ranks (one host core); --nodes=<N> scales up.
+#include <cmath>
+
+#include "motif_table.hpp"
+#include "motifs/halo3d.hpp"
+
+using namespace rvma;
+using namespace rvma::motifs;
+
+int main(int argc, char** argv) {
+  MotifBenchConfig bench;
+  bench.figure = "Figure 8";
+  bench.motif = "Halo3D";
+  bench.nodes = 64;
+  bench.build = [](int nodes) {
+    Halo3DConfig cfg;
+    // Near-cubic process grid that fits in `nodes` ranks.
+    int p = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(nodes))));
+    cfg.px = p;
+    cfg.py = p;
+    cfg.pz = std::max(1, nodes / (p * p));
+    cfg.nx = cfg.ny = cfg.nz = 32;   // 32 KiB faces: bandwidth-sensitive
+    cfg.vars = 4;
+    cfg.iterations = 4;
+    cfg.compute_per_cell = 50 * kPicosecond;
+    return build_halo3d(cfg);
+  };
+  return run_motif_figure(bench, argc, argv);
+}

@@ -1,0 +1,61 @@
+// Shared driver for the Figure 4 / Figure 5 latency tables.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "perf/latency.hpp"
+
+namespace rvma::perf {
+
+/// Print the RVMA vs RDMA put-latency table for one system profile.
+/// Columns mirror the paper's figures: RDMA under static routing
+/// (last-byte poll), RDMA under adaptive routing (spec-compliant trailing
+/// send/recv), RVMA, and the latency reduction RVMA achieves versus the
+/// adaptive-routing RDMA scheme.
+inline int run_latency_figure(const SystemProfile& profile, const char* figure,
+                              int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int iters = static_cast<int>(cli.get_int("iters", 200));
+  const int runs = static_cast<int>(cli.get_int("runs", 10));
+  const std::uint64_t seed = cli.get_int("seed", 1);
+  const int max_exp = static_cast<int>(cli.get_int("max-exp", 22));
+  for (const auto& key : cli.unconsumed()) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  std::printf("%s: RVMA vs RDMA one-way put latency (%s)\n", figure,
+              profile.name.c_str());
+  std::printf("link %s, %d runs x %d iters; stddev across runs\n\n",
+              format_bandwidth(profile.link.bw).c_str(), runs, iters);
+
+  Table table({"size", "rdma-static us", "rdma-adaptive us", "rvma us",
+               "rvma stddev", "reduction vs adaptive"});
+  double best_reduction = 0.0;
+  for (int exp = 1; exp <= max_exp; exp += 2) {
+    const std::uint64_t bytes = 1ULL << exp;
+    const auto rstat =
+        measure_put_latency(profile, Mode::kRdmaStatic, bytes, iters, runs, seed);
+    const auto radpt = measure_put_latency(profile, Mode::kRdmaAdaptive, bytes,
+                                           iters, runs, seed);
+    const auto rvma =
+        measure_put_latency(profile, Mode::kRvma, bytes, iters, runs, seed);
+    const double reduction = 1.0 - rvma.mean_us / radpt.mean_us;
+    best_reduction = std::max(best_reduction, reduction);
+    table.add_row({format_size(bytes), Table::num(rstat.mean_us),
+                   Table::num(radpt.mean_us), Table::num(rvma.mean_us),
+                   Table::num(rvma.stddev_us, 3),
+                   Table::num(reduction * 100.0, 1) + "%"});
+  }
+  table.print();
+  std::printf("\nmax latency reduction vs spec-compliant adaptive RDMA: "
+              "%.1f%%\n",
+              best_reduction * 100.0);
+  return 0;
+}
+
+}  // namespace rvma::perf

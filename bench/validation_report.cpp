@@ -1,0 +1,56 @@
+// Model validation report (paper §V-B: "The models are validated...").
+//
+// Prints, per system profile and completion scheme, the analytic pipeline
+// prediction vs the simulated one-way latency (they must agree exactly),
+// plus the effective-bandwidth asymptote that shows the simulator honors
+// the configured link rate.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "perf/validation.hpp"
+
+using namespace rvma;
+using namespace rvma::perf;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  for (const auto& key : cli.unconsumed()) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    return 2;
+  }
+
+  const std::vector<std::uint64_t> sizes = {2,     64,      1024,
+                                            16384, 262144, 4194304};
+  int mismatches = 0;
+  for (const SystemProfile& profile : {verbs_opa(), ucx_cx5()}) {
+    std::printf("=== profile %s ===\n", profile.name.c_str());
+    for (Mode mode : {Mode::kRvma, Mode::kRdmaStatic, Mode::kRdmaAdaptive}) {
+      Table table({"size", "analytic us", "simulated us", "error"});
+      for (const ValidationRow& row : validate_mode(profile, mode, sizes)) {
+        if (row.error() != 0.0) ++mismatches;
+        table.add_row({format_size(row.bytes),
+                       Table::num(to_us(row.predicted), 4),
+                       Table::num(to_us(row.simulated), 4),
+                       Table::num(row.error() * 100.0, 3) + "%"});
+      }
+      std::printf("-- %s --\n", to_string(mode));
+      table.print();
+      std::printf("\n");
+    }
+  }
+
+  std::printf("=== effective bandwidth asymptote (verbs-opa, RVMA) ===\n");
+  Table bw({"size", "effective Gbps", "of line rate"});
+  const SystemProfile profile = verbs_opa();
+  for (std::uint64_t bytes : {64ull * KiB, 1ull * MiB, 16ull * MiB, 64ull * MiB}) {
+    const double gbps = effective_bandwidth_gbps(profile, Mode::kRvma, bytes);
+    bw.add_row({format_size(bytes), Table::num(gbps, 1),
+                Table::num(gbps / profile.link.bw.gbps_value() * 100.0, 1) + "%"});
+  }
+  bw.print();
+
+  std::printf("\nvalidation %s: %d mismatching points\n",
+              mismatches == 0 ? "PASSED" : "FAILED", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+// fault_tolerance: the paper's §IV-F scenario — hardware-level rollback of
+// communication buffers after a mid-epoch failure (the MPIX_Rewind sketch).
+//
+// A "timestep simulation" receives one state buffer per timestep into an
+// RVMA mailbox. Timestep 4's sender dies halfway through the transfer.
+// Because completed epochs retire into the mailbox's buffer ring, the
+// application asks the NIC for the previous epoch's buffer address and
+// resumes from the last consistent timestep — something impossible with
+// classic RDMA, where the half-written buffer is the only copy.
+//
+// Build & run:  ./build/examples/fault_tolerance
+#include <cstdio>
+#include <vector>
+
+#include "core/endpoint.hpp"
+
+using namespace rvma;
+
+namespace {
+constexpr std::uint64_t kStateMailbox = 0x7777;
+constexpr std::uint64_t kStateBytes = 8192;
+constexpr int kTimesteps = 4;  // the 4th one fails
+}  // namespace
+
+int main() {
+  net::NetworkConfig net_cfg;
+  net_cfg.topology = net::TopologyKind::kStar;
+  net_cfg.nodes_hint = 2;
+  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  core::RvmaEndpoint compute_node(cluster.nic(0), core::RvmaParams{});
+  core::RvmaEndpoint checkpoint_node(cluster.nic(1), core::RvmaParams{});
+
+  core::Window window = checkpoint_node.init_window(
+      kStateMailbox, kStateBytes, core::EpochType::kBytes);
+  // One buffer per timestep: the mailbox's "bucket" doubles as epoch
+  // history for rollback.
+  std::vector<std::vector<std::byte>> epoch_buffers(
+      kTimesteps, std::vector<std::byte>(kStateBytes));
+  for (auto& buf : epoch_buffers) {
+    if (!ok(window.post(buf, nullptr))) {
+      std::fprintf(stderr, "post failed\n");
+      return 1;
+    }
+  }
+  window.notify_wait([&](void*, std::int64_t) {});
+
+  // Timesteps 1..3 complete; timestep 4 fails after half the bytes.
+  std::vector<std::vector<std::byte>> states;
+  for (int t = 0; t < kTimesteps; ++t) {
+    states.emplace_back(kStateBytes, static_cast<std::byte>(0x10 * (t + 1)));
+  }
+  for (int t = 0; t < kTimesteps - 1; ++t) {
+    compute_node.put(1, kStateMailbox, 0, states[t].data(), kStateBytes);
+  }
+  cluster.engine().run();
+  std::printf("timesteps completed: epoch=%lld (expect %d)\n",
+              static_cast<long long>(window.epoch()), kTimesteps - 1);
+
+  // The failing transfer: only half the state arrives, then the node dies.
+  compute_node.put(1, kStateMailbox, 0, states[3].data(), kStateBytes / 2);
+  cluster.engine().run();
+  std::printf("after failure: epoch=%lld (timestep 4 incomplete -> epoch "
+              "did not advance)\n",
+              static_cast<long long>(window.epoch()));
+
+  // Recovery: MPIX_Rewind-style — fetch the last consistent epoch's buffer
+  // straight from the NIC's retired-buffer ring.
+  void* recovered = nullptr;
+  std::int64_t recovered_len = 0;
+  const Status st = window.rewind(1, &recovered, &recovered_len);
+  if (!ok(st)) {
+    std::fprintf(stderr, "rewind failed: %s\n",
+                 std::string(to_string(st)).c_str());
+    return 1;
+  }
+  const auto* bytes = static_cast<const std::byte*>(recovered);
+  const bool consistent =
+      recovered == epoch_buffers[2].data() &&
+      recovered_len == static_cast<std::int64_t>(kStateBytes) &&
+      bytes[0] == std::byte{0x30} && bytes[kStateBytes - 1] == std::byte{0x30};
+  std::printf("rewind(1): buffer=%p length=%lld -> timestep-3 state %s\n",
+              recovered, static_cast<long long>(recovered_len),
+              consistent ? "recovered intact" : "MISMATCH");
+
+  // Deeper history is also available, bounded by the retire ring depth.
+  for (int back = 2; back <= 3; ++back) {
+    void* buf = nullptr;
+    std::int64_t len = 0;
+    if (ok(window.rewind(back, &buf, &len))) {
+      std::printf("rewind(%d): buffer=%p first_byte=0x%02x\n", back, buf,
+                  std::to_integer<int>(static_cast<const std::byte*>(buf)[0]));
+    }
+  }
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Quickstart: the smallest complete RVMA program.
+//
+// Simulates two nodes on one switch. The target creates a mailbox window,
+// posts a receive buffer with a completion pointer; the initiator fires an
+// RVMA_Put at the mailbox's virtual address — no handshake, no remote
+// buffer bookkeeping — and the NIC completes the buffer when the byte
+// threshold is reached, writing (buffer head, length) to the notification
+// cache line.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/endpoint.hpp"
+
+using namespace rvma;
+
+int main() {
+  // 1. A simulated 2-node cluster (one switch, 100 Gbps links).
+  net::NetworkConfig net_cfg;
+  net_cfg.topology = net::TopologyKind::kStar;
+  net_cfg.nodes_hint = 2;
+  net_cfg.link.bw = Bandwidth::gbps(100);
+  nic::Cluster cluster(net_cfg, nic::NicParams{});
+
+  core::RvmaEndpoint initiator(cluster.nic(0), core::RvmaParams{});
+  core::RvmaEndpoint target(cluster.nic(1), core::RvmaParams{});
+
+  // 2. Target: a window at mailbox vaddr 0x11FF0011, completing after 64
+  //    bytes, plus one posted buffer and its notification cache line.
+  constexpr std::uint64_t kMailbox = 0x11FF0011;
+  constexpr std::int64_t kThreshold = 64;
+  core::Window window =
+      target.init_window(kMailbox, kThreshold, core::EpochType::kBytes);
+
+  std::vector<std::byte> buffer(64, std::byte{0});
+  void* notification = nullptr;   // completion pointer target
+  std::int64_t length = -1;       // completed-length target
+  if (!ok(window.post(buffer, &notification, &length))) {
+    std::fprintf(stderr, "post_buffer failed\n");
+    return 1;
+  }
+
+  // 3. Wake-on-completion (Monitor/MWait style).
+  window.notify_wait([&](void* buf, std::int64_t len) {
+    std::printf("[%s] completion: buffer=%p length=%lld payload=\"%s\"\n",
+                format_time(cluster.engine().now()).c_str(), buf,
+                static_cast<long long>(len),
+                reinterpret_cast<const char*>(buf));
+  });
+
+  // 4. Initiator: put 64 bytes at the virtual address. Note what is NOT
+  //    here: no address exchange, no registration, no completion message.
+  char message[64] = "hello from node 0 via Remote Virtual Memory Access";
+  initiator.put(/*dst=*/1, kMailbox, /*offset=*/0,
+                reinterpret_cast<const std::byte*>(message), sizeof message);
+
+  cluster.engine().run();
+
+  std::printf("epoch advanced to %lld; completions on mailbox: %llu\n",
+              static_cast<long long>(window.epoch()),
+              static_cast<unsigned long long>(window.completions()));
+  const bool data_ok =
+      std::memcmp(buffer.data(), message, sizeof message) == 0;
+  std::printf("data integrity: %s\n", data_ok ? "OK" : "CORRUPT");
+  return data_ok && notification == buffer.data() ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace rvma {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      opts_[arg] = "true";
+    }
+  }
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  consumed_[key] = true;
+  const auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  consumed_[key] = true;
+  const auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  consumed_[key] = true;
+  const auto it = opts_.find(key);
+  return it == opts_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  consumed_[key] = true;
+  const auto it = opts_.find(key);
+  if (it == opts_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Cli::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, _] : opts_) {
+    if (!consumed_.contains(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace rvma

@@ -1,0 +1,40 @@
+// Minimal command-line option parser for bench and example binaries.
+//
+// Supports "--key=value" and boolean "--flag" (the unambiguous subset —
+// "--key value" is not accepted so flags can precede positionals). Unknown
+// options are reported so a typo'd sweep parameter fails loudly instead of
+// silently benchmarking the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rvma {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const { return opts_.contains(key); }
+
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were supplied but never queried; call after all get()s to
+  /// reject typos. Returns empty vector when everything was consumed.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::map<std::string, std::string> opts_;
+  mutable std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rvma

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace rvma {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+void init_log_from_env() {
+  const char* env = std::getenv("RVMA_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) g_level = LogLevel::kOff;
+}
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...) {
+  std::fprintf(stderr, "[rvma %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+}  // namespace detail
+
+}  // namespace rvma

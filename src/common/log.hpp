@@ -1,0 +1,48 @@
+// Leveled logging for the simulator. Off (kWarn) by default so benches stay
+// quiet; tests and debugging sessions can raise verbosity per-run via
+// RVMA_LOG=debug or set_level().
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace rvma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Initialize from the RVMA_LOG environment variable ("debug", "info", ...).
+void init_log_from_env();
+
+namespace detail {
+void vlog(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+}  // namespace detail
+
+#define RVMA_LOG_DEBUG(...)                                   \
+  do {                                                        \
+    if (::rvma::log_level() <= ::rvma::LogLevel::kDebug)      \
+      ::rvma::detail::vlog(::rvma::LogLevel::kDebug, __VA_ARGS__); \
+  } while (0)
+
+#define RVMA_LOG_INFO(...)                                    \
+  do {                                                        \
+    if (::rvma::log_level() <= ::rvma::LogLevel::kInfo)       \
+      ::rvma::detail::vlog(::rvma::LogLevel::kInfo, __VA_ARGS__); \
+  } while (0)
+
+#define RVMA_LOG_WARN(...)                                    \
+  do {                                                        \
+    if (::rvma::log_level() <= ::rvma::LogLevel::kWarn)       \
+      ::rvma::detail::vlog(::rvma::LogLevel::kWarn, __VA_ARGS__); \
+  } while (0)
+
+#define RVMA_LOG_ERROR(...)                                   \
+  do {                                                        \
+    if (::rvma::log_level() <= ::rvma::LogLevel::kError)      \
+      ::rvma::detail::vlog(::rvma::LogLevel::kError, __VA_ARGS__); \
+  } while (0)
+
+}  // namespace rvma

@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer for bench output.
+//
+// Bench binaries regenerate the paper's figures as tables; this keeps their
+// output aligned and diff-able (EXPERIMENTS.md copies rows verbatim).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rvma {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render to stdout (or any FILE*). First column left-aligned, the rest
+  /// right-aligned, matching typical benchmark table conventions.
+  void print(std::FILE* out = stdout) const;
+
+  /// Render as a string (used by tests).
+  std::string to_string() const;
+
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rvma

@@ -1,0 +1,47 @@
+#include "common/trace.hpp"
+
+#include <cstdlib>
+
+namespace rvma {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "w");
+  events_ = 0;
+  return file_ != nullptr;
+}
+
+void Tracer::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void Tracer::record(Time now, std::string_view event,
+                    std::initializer_list<Field> fields) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, "{\"t\":%llu,\"ev\":\"%.*s\"",
+               static_cast<unsigned long long>(now),
+               static_cast<int>(event.size()), event.data());
+  for (const Field& field : fields) {
+    std::fprintf(file_, ",\"%.*s\":%lld", static_cast<int>(field.key.size()),
+                 field.key.data(), static_cast<long long>(field.value));
+  }
+  std::fputs("}\n", file_);
+  ++events_;
+}
+
+void init_trace_from_env() {
+  const char* path = std::getenv("RVMA_TRACE");
+  if (path != nullptr && *path != '\0') {
+    Tracer::global().open(path);
+  }
+}
+
+}  // namespace rvma

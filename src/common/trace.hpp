@@ -1,0 +1,61 @@
+// Lightweight event tracing: one JSON object per line (JSONL), cheap
+// enough to leave compiled in (a branch on an enabled flag). Components
+// emit trace events at interesting points — packet injection/delivery,
+// RVMA completion-pointer writes, NACKs — and analyses replay the file.
+//
+// Enable programmatically (Tracer::open) or via RVMA_TRACE=<path> in the
+// environment (init_trace_from_env), mirroring RVMA_LOG.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace rvma {
+
+class Tracer {
+ public:
+  /// A single numeric field of a trace event.
+  struct Field {
+    std::string_view key;
+    std::int64_t value;
+  };
+
+  Tracer() = default;
+  ~Tracer() { close(); }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool open(const std::string& path);
+  void close();
+  bool enabled() const { return file_ != nullptr; }
+
+  /// Emit {"t":<ps>,"ev":"<event>",<fields...>}.
+  void record(Time now, std::string_view event,
+              std::initializer_list<Field> fields);
+
+  std::uint64_t events_written() const { return events_; }
+
+  /// Process-wide tracer used by the built-in hooks.
+  static Tracer& global();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t events_ = 0;
+};
+
+/// Open the global tracer from RVMA_TRACE, if set.
+void init_trace_from_env();
+
+/// Convenience: record into the global tracer only when it is enabled.
+inline void trace_event(Time now, std::string_view event,
+                        std::initializer_list<Tracer::Field> fields) {
+  Tracer& tracer = Tracer::global();
+  if (tracer.enabled()) tracer.record(now, event, fields);
+}
+
+}  // namespace rvma

@@ -1,0 +1,42 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace rvma {
+
+namespace {
+std::string fmt(double v, const char* unit) {
+  char buf[64];
+  if (v >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", v, unit);
+  } else if (v >= 10.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", v, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_time(Time t) {
+  if (t >= kSecond) return fmt(static_cast<double>(t) / kSecond, "s");
+  if (t >= kMillisecond) return fmt(to_ms(t), "ms");
+  if (t >= kMicrosecond) return fmt(to_us(t), "us");
+  if (t >= kNanosecond) return fmt(to_ns(t), "ns");
+  return fmt(static_cast<double>(t), "ps");
+}
+
+std::string format_size(std::uint64_t bytes) {
+  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + " GiB";
+  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + " MiB";
+  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + " KiB";
+  return std::to_string(bytes) + " B";
+}
+
+std::string format_bandwidth(Bandwidth bw) {
+  if (bw.bits_per_sec >= 1e12) return fmt(bw.bits_per_sec / 1e12, "Tbps");
+  if (bw.bits_per_sec >= 1e9) return fmt(bw.bits_per_sec / 1e9, "Gbps");
+  return fmt(bw.bits_per_sec / 1e6, "Mbps");
+}
+
+}  // namespace rvma

@@ -1,0 +1,73 @@
+// Time, bandwidth, and size units used throughout the RVMA simulator.
+//
+// Simulated time is an integer count of picoseconds. Picosecond resolution
+// comfortably covers the paper's timescales (5e9 updates per simulated
+// second corresponds to 200 ps ticks) while a 64-bit counter still spans
+// ~213 days of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rvma {
+
+/// Simulated time in picoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1'000;
+inline constexpr Time kMicrosecond = 1'000'000;
+inline constexpr Time kMillisecond = 1'000'000'000;
+inline constexpr Time kSecond = 1'000'000'000'000ULL;
+
+/// A time value larger than any reachable simulation time.
+inline constexpr Time kTimeInfinity = ~Time{0};
+
+constexpr Time ns(double v) { return static_cast<Time>(v * kNanosecond); }
+constexpr Time us(double v) { return static_cast<Time>(v * kMicrosecond); }
+constexpr Time ms(double v) { return static_cast<Time>(v * kMillisecond); }
+
+constexpr double to_ns(Time t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double to_us(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Link/bus bandwidth in bits per second.
+struct Bandwidth {
+  double bits_per_sec = 0.0;
+
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bps) : bits_per_sec(bps) {}
+
+  static constexpr Bandwidth gbps(double v) { return Bandwidth{v * 1e9}; }
+  static constexpr Bandwidth tbps(double v) { return Bandwidth{v * 1e12}; }
+  static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+
+  constexpr double gbps_value() const { return bits_per_sec / 1e9; }
+
+  /// Serialization time for `bytes` at this bandwidth.
+  constexpr Time serialize(std::uint64_t bytes) const {
+    if (bits_per_sec <= 0.0) return 0;
+    const double seconds = static_cast<double>(bytes) * 8.0 / bits_per_sec;
+    return static_cast<Time>(seconds * static_cast<double>(kSecond));
+  }
+
+  /// This bandwidth scaled by `factor` (e.g. crossbar = 1.5x link).
+  constexpr Bandwidth scaled(double factor) const {
+    return Bandwidth{bits_per_sec * factor};
+  }
+
+  constexpr bool operator==(const Bandwidth&) const = default;
+};
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * 1024;
+inline constexpr std::uint64_t GiB = 1024ULL * 1024 * 1024;
+
+/// Human-readable rendering, e.g. "1.50 us" or "320 ns".
+std::string format_time(Time t);
+/// Human-readable size, e.g. "4 KiB".
+std::string format_size(std::uint64_t bytes);
+/// Human-readable bandwidth, e.g. "400 Gbps" / "2 Tbps".
+std::string format_bandwidth(Bandwidth bw);
+
+}  // namespace rvma

@@ -1,0 +1,51 @@
+#include "core/mailbox.hpp"
+
+namespace rvma::core {
+
+Status Mailbox::post(PostedBuffer buf) {
+  if (closed_) return Status::kClosed;
+  if (buf.size == 0) return Status::kInvalidArg;
+  if (buf.threshold <= 0) {
+    buf.threshold = threshold_;
+    buf.type = type_;
+  }
+  if (buf.threshold <= 0) return Status::kInvalidArg;
+  buf.bytes_received = 0;
+  buf.ops_received = 0;
+  buf.write_cursor = 0;
+  queue_.push_back(buf);
+  return Status::kOk;
+}
+
+RetiredBuffer Mailbox::retire_active(bool soft) {
+  PostedBuffer& buf = queue_.front();
+  RetiredBuffer retired{buf.base, buf.size, buf.bytes_received, epoch_, soft};
+  queue_.pop_front();
+  retired_.push_back(retired);
+  if (static_cast<int>(retired_.size()) > retire_depth_) {
+    retired_.erase(retired_.begin());
+  }
+  ++epoch_;
+  ++completed_count_;
+  return retired;
+}
+
+Status Mailbox::rewind(int epochs_back, RetiredBuffer* out) const {
+  if (epochs_back < 1 || out == nullptr) return Status::kInvalidArg;
+  if (static_cast<std::size_t>(epochs_back) > retired_.size()) {
+    return Status::kNoBuffer;  // aged out of the retire ring
+  }
+  *out = retired_[retired_.size() - static_cast<std::size_t>(epochs_back)];
+  return Status::kOk;
+}
+
+int Mailbox::collect_notif_ptrs(void** out, int count) const {
+  int n = 0;
+  for (const PostedBuffer& buf : queue_) {
+    if (n >= count) break;
+    out[n++] = static_cast<void*>(buf.notif_ptr);
+  }
+  return n;
+}
+
+}  // namespace rvma::core

@@ -1,0 +1,142 @@
+// Mailbox, posted-buffer, and counter-pool state — the contents of the
+// RVMA NIC's lookup table (paper Fig. 2).
+//
+// These are plain data structures with no simulator dependencies so their
+// semantics (bucket-of-buffers, epoch thresholds, retire ring, counter
+// spill) are unit-testable in isolation; RvmaEndpoint drives them with
+// simulated timing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/types.hpp"
+
+namespace rvma::core {
+
+/// One buffer posted to a mailbox, plus the completion state the NIC keeps
+/// for it while it is queued/active.
+struct PostedBuffer {
+  std::byte* base = nullptr;   ///< null for timing-only buffers
+  std::uint64_t size = 0;
+  void** notif_ptr = nullptr;  ///< completion pointer location (may be null)
+  std::int64_t* len_ptr = nullptr;  ///< completed-length location
+
+  std::int64_t threshold = 0;
+  EpochType type = EpochType::kBytes;
+
+  std::uint64_t bytes_received = 0;
+  std::int64_t ops_received = 0;
+  std::uint64_t write_cursor = 0;  ///< kManaged append point
+  bool counter_on_nic = true;
+
+  bool threshold_reached() const {
+    if (type == EpochType::kBytes) {
+      return static_cast<std::int64_t>(bytes_received) >= threshold;
+    }
+    return ops_received >= threshold;
+  }
+};
+
+/// A completed buffer retained in the mailbox's retire ring; the raw
+/// material for hardware rewind (paper §IV-F).
+struct RetiredBuffer {
+  std::byte* base = nullptr;
+  std::uint64_t size = 0;
+  std::uint64_t bytes_received = 0;
+  std::int64_t epoch = 0;   ///< the epoch this buffer served
+  bool soft = false;        ///< completed via inc_epoch rather than threshold
+};
+
+/// Bounded pool of on-NIC completion counters. When exhausted, new active
+/// buffers fall back to host-memory counters (slower per-packet updates).
+class CounterPool {
+ public:
+  explicit CounterPool(int capacity) : capacity_(capacity) {}
+
+  bool try_acquire() {
+    if (in_use_ >= capacity_) return false;
+    ++in_use_;
+    return true;
+  }
+  void release() {
+    if (in_use_ > 0) --in_use_;
+  }
+
+  int capacity() const { return capacity_; }
+  int in_use() const { return in_use_; }
+  int available() const { return capacity_ - in_use_; }
+
+ private:
+  int capacity_;
+  int in_use_ = 0;
+};
+
+/// One entry in the RVMA LUT: a virtual mailbox address mapped to a bucket
+/// of posted buffers, the epoch counter, and the retire ring.
+class Mailbox {
+ public:
+  Mailbox(std::uint64_t vaddr, std::int64_t threshold, EpochType type,
+          Placement placement, int retire_depth, std::uint64_t key = 0)
+      : vaddr_(vaddr),
+        threshold_(threshold),
+        type_(type),
+        placement_(placement),
+        retire_depth_(retire_depth),
+        key_(key) {}
+
+  std::uint64_t vaddr() const { return vaddr_; }
+  Placement placement() const { return placement_; }
+  EpochType epoch_type() const { return type_; }
+  std::int64_t default_threshold() const { return threshold_; }
+  /// Protection key; 0 means unkeyed (accept any initiator).
+  std::uint64_t key() const { return key_; }
+
+  std::int64_t epoch() const { return epoch_; }
+  bool closed() const { return closed_; }
+  void close() { closed_ = true; }
+
+  bool has_active() const { return !queue_.empty(); }
+  PostedBuffer& active() { return queue_.front(); }
+  const PostedBuffer& active() const { return queue_.front(); }
+  std::size_t posted_count() const { return queue_.size(); }
+
+  /// Append a buffer to the bucket. The buffer inherits the window's
+  /// threshold/type unless `buf.threshold` is already set (> 0).
+  Status post(PostedBuffer buf);
+
+  /// Retire the active buffer (threshold reached or inc_epoch), advance the
+  /// epoch, and surface the next posted buffer. Returns the retired entry.
+  RetiredBuffer retire_active(bool soft);
+
+  /// Retrieve the buffer completed `epochs_back` epochs ago (1 = most
+  /// recently completed). Fails if the retire ring no longer holds it.
+  Status rewind(int epochs_back, RetiredBuffer* out) const;
+
+  /// Notification pointers of currently queued buffers, oldest first.
+  int collect_notif_ptrs(void** out, int count) const;
+
+  const std::deque<PostedBuffer>& queue() const { return queue_; }
+  const std::vector<RetiredBuffer>& retired() const { return retired_; }
+  std::uint64_t completed_count() const { return completed_count_; }
+
+ private:
+  std::uint64_t vaddr_;
+  std::int64_t threshold_;
+  EpochType type_;
+  Placement placement_;
+  int retire_depth_;
+  std::uint64_t key_;
+
+  std::deque<PostedBuffer> queue_;
+  std::vector<RetiredBuffer> retired_;  // ring, newest at back
+  std::int64_t epoch_ = 0;
+  std::uint64_t completed_count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace rvma::core

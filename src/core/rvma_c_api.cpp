@@ -1,0 +1,138 @@
+#include "core/rvma_c_api.h"
+
+#include "core/endpoint.hpp"
+
+using rvma::Status;
+using rvma::core::EpochType;
+using rvma::core::RvmaEndpoint;
+
+struct RVMA_Win_s {
+  RvmaEndpoint* ep;
+  std::uint64_t vaddr;
+};
+
+namespace {
+
+thread_local RvmaEndpoint* g_endpoint = nullptr;
+
+RVMA_Status to_c(Status st) {
+  switch (st) {
+    case Status::kOk: return RVMA_SUCCESS;
+    case Status::kInvalidArg: return RVMA_ERR_INVALID;
+    case Status::kClosed: return RVMA_ERR_CLOSED;
+    case Status::kNoBuffer: return RVMA_ERR_NO_BUFFER;
+    case Status::kNoMailbox: return RVMA_ERR_NO_MAILBOX;
+    case Status::kOverflow: return RVMA_ERR_OVERFLOW;
+    default: return RVMA_ERROR;
+  }
+}
+
+std::uint64_t vaddr_of(void* virtual_addr) {
+  return reinterpret_cast<std::uint64_t>(virtual_addr);
+}
+
+}  // namespace
+
+extern "C" {
+
+void RVMA_Set_endpoint(void* endpoint) {
+  g_endpoint = static_cast<RvmaEndpoint*>(endpoint);
+}
+
+RVMA_Win RVMA_Init_window(void* virtual_addr, rvma_key_t* key,
+                          int64_t epoch_threshold, epoch_type type) {
+  if (g_endpoint == nullptr || epoch_threshold <= 0) return nullptr;
+  const std::uint64_t vaddr = vaddr_of(virtual_addr);
+  g_endpoint->init_window(vaddr, epoch_threshold,
+                          type == EPOCH_BYTES ? EpochType::kBytes
+                                              : EpochType::kOps);
+  // Protection key: derived from the vaddr; a hardware implementation
+  // would randomize and verify it on incoming operations.
+  if (key != nullptr) *key = vaddr * 0x9e3779b97f4a7c15ULL;
+  return new RVMA_Win_s{g_endpoint, vaddr};
+}
+
+RVMA_Status RVMA_Post_buffer(void* buffer, int64_t size,
+                             void** notification_ptr, RVMA_Win win) {
+  if (win == nullptr || buffer == nullptr || size <= 0) {
+    return RVMA_ERR_INVALID;
+  }
+  // Word 1 of the notification cache line receives the completed length.
+  auto* len_ptr = notification_ptr == nullptr
+                      ? nullptr
+                      : reinterpret_cast<int64_t*>(notification_ptr + 1);
+  return to_c(win->ep->post_buffer(
+      win->vaddr,
+      std::span<std::byte>(static_cast<std::byte*>(buffer),
+                           static_cast<std::size_t>(size)),
+      notification_ptr, len_ptr));
+}
+
+RVMA_Status RVMA_Close_Win(RVMA_Win win) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return to_c(win->ep->close_window(win->vaddr));
+}
+
+RVMA_Status RVMA_Win_inc_epoch(RVMA_Win win) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return to_c(win->ep->inc_epoch(win->vaddr));
+}
+
+int64_t RVMA_Win_get_epoch(RVMA_Win win) {
+  if (win == nullptr) return -1;
+  return win->ep->get_epoch(win->vaddr);
+}
+
+int RVMA_Win_get_buf_ptrs(RVMA_Win win, void* notification_ptrs[], int count) {
+  if (win == nullptr || notification_ptrs == nullptr || count <= 0) return 0;
+  return win->ep->get_buf_ptrs(win->vaddr, notification_ptrs, count);
+}
+
+RVMA_Status RVMA_Put(void* send_buffer, int64_t size, rvma_addr_in* dest_addr,
+                     void* virtual_addr) {
+  return RVMA_Put_offset(send_buffer, size, 0, dest_addr, virtual_addr);
+}
+
+RVMA_Status RVMA_Put_offset(void* send_buffer, int64_t size, int64_t offset,
+                            rvma_addr_in* dest_addr, void* virtual_addr) {
+  if (g_endpoint == nullptr || dest_addr == nullptr || size < 0 ||
+      offset < 0) {
+    return RVMA_ERR_INVALID;
+  }
+  g_endpoint->put(dest_addr->node, vaddr_of(virtual_addr),
+                  static_cast<std::uint64_t>(offset),
+                  static_cast<const std::byte*>(send_buffer),
+                  static_cast<std::uint64_t>(size));
+  return RVMA_SUCCESS;
+}
+
+RVMA_Status RVMA_Get(int64_t size, int64_t offset, rvma_addr_in* src_addr,
+                     void* virtual_addr, void* reply_virtual_addr) {
+  if (g_endpoint == nullptr || src_addr == nullptr || size <= 0 ||
+      offset < 0) {
+    return RVMA_ERR_INVALID;
+  }
+  g_endpoint->get(src_addr->node, vaddr_of(virtual_addr),
+                  static_cast<std::uint64_t>(offset),
+                  static_cast<std::uint64_t>(size),
+                  vaddr_of(reply_virtual_addr));
+  return RVMA_SUCCESS;
+}
+
+RVMA_Win RVMA_Init_catch_all(int64_t epoch_threshold, epoch_type type) {
+  if (g_endpoint == nullptr || epoch_threshold <= 0) return nullptr;
+  g_endpoint->init_catch_all(epoch_threshold,
+                             type == EPOCH_BYTES ? EpochType::kBytes
+                                                 : EpochType::kOps);
+  return new RVMA_Win_s{g_endpoint, rvma::core::kCatchAllVaddr};
+}
+
+RVMA_Status RVMA_Win_rewind(RVMA_Win win, int epochs_back, void** buffer,
+                            int64_t* length) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return to_c(win->ep->rewind(win->vaddr, epochs_back, buffer, length));
+}
+
+void RVMA_Win_free(RVMA_Win win) { delete win; }
+
+}  // extern "C"

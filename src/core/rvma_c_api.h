@@ -1,0 +1,97 @@
+/*
+ * rvma_c_api.h — the paper's RVMA API (§III-C), C spelling.
+ *
+ * The paper presents the interface as C prototypes; this header reproduces
+ * them over the simulated RVMA endpoint. Because the paper's calls carry no
+ * endpoint/context argument, a current endpoint is selected per thread with
+ * RVMA_Set_endpoint() (analogous to how a real implementation would bind a
+ * process to its NIC).
+ *
+ * Notification convention (paper §III-B): `notification_ptr` names the
+ * first word of a cache-line-aligned, two-word region. On completion the
+ * NIC writes the completed buffer's head address to word 0 and the received
+ * length (int64_t) to word 1 — "typically these two completion addresses
+ * will be consecutive and be aligned to a single cache line".
+ */
+#pragma once
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef int RVMA_Status;
+#define RVMA_SUCCESS 0
+#define RVMA_ERROR 1
+#define RVMA_ERR_INVALID 2
+#define RVMA_ERR_CLOSED 3
+#define RVMA_ERR_NO_BUFFER 4
+#define RVMA_ERR_NO_MAILBOX 5
+#define RVMA_ERR_OVERFLOW 7
+
+typedef enum { EPOCH_BYTES = 0, EPOCH_OPS = 1 } epoch_type;
+
+/* Opaque window handle (mailbox vaddr bound to the owning endpoint). */
+typedef struct RVMA_Win_s* RVMA_Win;
+
+/* Destination: physical/logical network address for a node. The paper
+ * passes `struct addr_in*`; node id stands in for NID/PID here. */
+typedef struct rvma_addr_in {
+  int32_t node;
+} rvma_addr_in;
+
+typedef uint64_t rvma_key_t;
+
+/* Bind the calling thread to an endpoint created by the C++ API
+ * (rvma::core::RvmaEndpoint). Pass NULL to unbind. */
+void RVMA_Set_endpoint(void* endpoint);
+
+/* Paper API ---------------------------------------------------------- */
+
+RVMA_Win RVMA_Init_window(void* virtual_addr, rvma_key_t* key,
+                          int64_t epoch_threshold, epoch_type type);
+
+RVMA_Status RVMA_Post_buffer(void* buffer, int64_t size,
+                             void** notification_ptr, RVMA_Win win);
+
+RVMA_Status RVMA_Close_Win(RVMA_Win win);
+
+RVMA_Status RVMA_Win_inc_epoch(RVMA_Win win);
+
+int64_t RVMA_Win_get_epoch(RVMA_Win win);
+
+int RVMA_Win_get_buf_ptrs(RVMA_Win win, void* notification_ptrs[], int count);
+
+RVMA_Status RVMA_Put(void* send_buffer, int64_t size,
+                     rvma_addr_in* dest_addr, void* virtual_addr);
+
+/* Extensions the paper describes in prose ----------------------------- */
+
+/* §IV-F hardware rewind: address/length of the buffer completed
+ * `epochs_back` epochs ago (1 = most recent). */
+RVMA_Status RVMA_Win_rewind(RVMA_Win win, int epochs_back, void** buffer,
+                            int64_t* length);
+
+/* Put at an explicit offset into the active buffer (§III-B example of
+ * assembling a contiguous payload with offsets 0 and 32). */
+RVMA_Status RVMA_Put_offset(void* send_buffer, int64_t size, int64_t offset,
+                            rvma_addr_in* dest_addr, void* virtual_addr);
+
+/* Get: fetch `size` bytes at `offset` from the remote mailbox's active
+ * buffer; the response arrives as an ordinary put into the local
+ * `reply_virtual_addr` mailbox (which the caller must have initialized
+ * and posted). The paper names the call as part of a full specification. */
+RVMA_Status RVMA_Get(int64_t size, int64_t offset, rvma_addr_in* src_addr,
+                     void* virtual_addr, void* reply_virtual_addr);
+
+/* Catch-all mailbox (§III-C): receives puts whose virtual address has no
+ * mailbox. Placement is receiver-managed (append). */
+RVMA_Win RVMA_Init_catch_all(int64_t epoch_threshold, epoch_type type);
+
+/* Release the handle (does not close the window). */
+void RVMA_Win_free(RVMA_Win win);
+
+#ifdef __cplusplus
+}
+#endif

@@ -1,0 +1,42 @@
+// Collective-communication motif builders (extension beyond the paper's
+// two motifs): dissemination barrier, ring allreduce, binomial broadcast.
+// Collectives are chains of small dependent messages, so per-message
+// completion latency — exactly what RVMA shortens — dominates their cost.
+#pragma once
+
+#include "motifs/runner.hpp"
+
+namespace rvma::motifs {
+
+struct BarrierConfig {
+  int ranks = 16;
+  int iterations = 8;
+  std::uint64_t bytes = 8;  ///< flag payload per signal
+};
+
+/// Dissemination barrier: ceil(log2 n) rounds; in round k every rank
+/// signals (rank + 2^k) mod n and waits for (rank - 2^k) mod n.
+std::vector<RankProgram> build_barrier(const BarrierConfig& config);
+
+struct AllReduceConfig {
+  int ranks = 16;
+  std::uint64_t bytes = 1 * MiB;  ///< vector length being reduced
+  int iterations = 2;
+  Time reduce_per_byte = 0;  ///< local combine cost
+};
+
+/// Ring allreduce: 2(n-1) steps of size/n chunks around the ring
+/// (reduce-scatter then allgather), the bandwidth-optimal algorithm.
+std::vector<RankProgram> build_allreduce(const AllReduceConfig& config);
+
+struct BroadcastConfig {
+  int ranks = 16;
+  int root = 0;
+  std::uint64_t bytes = 64 * KiB;
+  int iterations = 4;
+};
+
+/// Binomial-tree broadcast from `root`.
+std::vector<RankProgram> build_broadcast(const BroadcastConfig& config);
+
+}  // namespace rvma::motifs

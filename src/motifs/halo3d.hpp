@@ -1,0 +1,34 @@
+// Halo3D motif (paper Fig. 8): 3-D domain decomposition; every iteration
+// each rank exchanges its six block faces with its neighbors and computes.
+// Bandwidth sensitive — face messages are large, so topology and link
+// speed matter more than per-message control latency (which is exactly
+// what Figure 8 shows relative to Figure 7).
+#pragma once
+
+#include "motifs/runner.hpp"
+
+namespace rvma::motifs {
+
+struct Halo3DConfig {
+  int px = 4, py = 4, pz = 4;   ///< process grid extents
+  int nx = 64, ny = 64, nz = 64;  ///< local cells per rank
+  int vars = 4;                 ///< variables exchanged per cell
+  int iterations = 4;
+  Time compute_per_cell = kNanosecond / 2;
+
+  int ranks() const { return px * py * pz; }
+  std::uint64_t face_bytes_x() const {
+    return static_cast<std::uint64_t>(ny) * nz * vars * sizeof(double);
+  }
+  std::uint64_t face_bytes_y() const {
+    return static_cast<std::uint64_t>(nx) * nz * vars * sizeof(double);
+  }
+  std::uint64_t face_bytes_z() const {
+    return static_cast<std::uint64_t>(nx) * ny * vars * sizeof(double);
+  }
+};
+
+/// Build per-rank programs (non-periodic boundaries, like ember's halo3d).
+std::vector<RankProgram> build_halo3d(const Halo3DConfig& config);
+
+}  // namespace rvma::motifs

@@ -1,0 +1,34 @@
+#include "motifs/incast.hpp"
+
+namespace rvma::motifs {
+
+std::vector<RankProgram> build_incast(const IncastConfig& config) {
+  std::vector<RankProgram> programs(config.ranks());
+
+  // Server (rank 0): arm every client's whole stream upfront (a server
+  // does not know arrival order), then drain. Upfront posting lets a
+  // transport with pipelined receive resources (RVMA buckets, RDMA slot
+  // depth) accept bursts without per-message coordination.
+  RankProgram& server = programs[0];
+  for (int m = 0; m < config.messages_per_client; ++m) {
+    for (int c = 1; c <= config.clients; ++c) {
+      server.push_back({Op::Kind::kRecvPost, c, 0, config.bytes, 0});
+    }
+  }
+  for (int m = 0; m < config.messages_per_client; ++m) {
+    for (int c = 1; c <= config.clients; ++c) {
+      server.push_back({Op::Kind::kRecvWait, c, 0, config.bytes, 0});
+    }
+  }
+
+  for (int c = 1; c <= config.clients; ++c) {
+    RankProgram& client = programs[c];
+    for (int m = 0; m < config.messages_per_client; ++m) {
+      client.push_back({Op::Kind::kCompute, -1, 0, 0, config.client_compute});
+      client.push_back({Op::Kind::kSend, 0, 0, config.bytes, 0});
+    }
+  }
+  return programs;
+}
+
+}  // namespace rvma::motifs

@@ -1,0 +1,23 @@
+// Incast motif: many clients sending to one server — the "many-to-one
+// communication models such as those found in public internet client-server
+// situations" the paper's abstract motivates. RDMA needs a negotiated
+// region + credits per client; RVMA needs one mailbox with a bucket of
+// buffers, exercising receiver-side resource management.
+#pragma once
+
+#include "motifs/runner.hpp"
+
+namespace rvma::motifs {
+
+struct IncastConfig {
+  int clients = 15;              ///< ranks 1..clients send to rank 0
+  int messages_per_client = 8;
+  std::uint64_t bytes = 16 * KiB;
+  Time client_compute = 500 * kNanosecond;  ///< work between sends
+
+  int ranks() const { return clients + 1; }
+};
+
+std::vector<RankProgram> build_incast(const IncastConfig& config);
+
+}  // namespace rvma::motifs

@@ -1,0 +1,97 @@
+#include "motifs/runner.hpp"
+
+#include <cassert>
+#include <map>
+
+namespace rvma::motifs {
+
+MotifRunner::MotifRunner(nic::Cluster& cluster, Transport& transport,
+                         std::vector<RankProgram> programs)
+    : cluster_(cluster),
+      transport_(transport),
+      programs_(std::move(programs)),
+      pc_(programs_.size(), 0) {
+  assert(static_cast<int>(programs_.size()) <= cluster.num_nodes() &&
+         "more ranks than nodes");
+}
+
+std::vector<Channel> MotifRunner::derive_channels(
+    const std::vector<RankProgram>& programs) {
+  std::map<std::tuple<int, int, std::uint64_t>, Channel> map;
+  for (int rank = 0; rank < static_cast<int>(programs.size()); ++rank) {
+    for (const Op& op : programs[rank]) {
+      if (op.kind != Op::Kind::kSend) continue;
+      auto key = std::make_tuple(rank, op.peer, op.tag);
+      auto [it, inserted] = map.try_emplace(key);
+      Channel& ch = it->second;
+      if (inserted) {
+        ch.src = rank;
+        ch.dst = op.peer;
+        ch.tag = op.tag;
+        ch.bytes = op.bytes;
+      }
+      assert(ch.bytes == op.bytes &&
+             "all messages on a channel must be the same size");
+      ++ch.count;
+    }
+  }
+  std::vector<Channel> out;
+  out.reserve(map.size());
+  for (auto& [key, ch] : map) out.push_back(ch);
+  return out;
+}
+
+MotifResult MotifRunner::run() {
+  auto& engine = cluster_.engine();
+  unfinished_ = static_cast<int>(programs_.size());
+
+  transport_.setup(derive_channels(programs_), [this, &engine] {
+    result_.setup_done = engine.now();
+    for (int rank = 0; rank < static_cast<int>(programs_.size()); ++rank) {
+      advance(rank);
+    }
+  });
+
+  engine.run();
+  assert(unfinished_ == 0 && "motif deadlocked (ranks still blocked)");
+  result_.engine_events = engine.executed_events();
+  result_.transport = transport_.stats();
+  return result_;
+}
+
+void MotifRunner::advance(int rank) {
+  RankProgram& prog = programs_[rank];
+  while (pc_[rank] < prog.size()) {
+    const Op& op = prog[pc_[rank]];
+    ++pc_[rank];
+    ++result_.ops_executed;
+    switch (op.kind) {
+      case Op::Kind::kRecvPost:
+        transport_.recv_post(rank, op.peer, op.tag);
+        continue;  // non-blocking: keep executing
+
+      case Op::Kind::kSend:
+        transport_.send(rank, op.peer, op.tag, [this, rank] { advance(rank); });
+        return;
+
+      case Op::Kind::kRecvWait:
+        transport_.recv_wait(rank, op.peer, op.tag,
+                             [this, rank] { advance(rank); });
+        return;
+
+      case Op::Kind::kCompute:
+        cluster_.engine().schedule(op.compute, [this, rank] { advance(rank); });
+        return;
+    }
+  }
+  finish_rank(rank);
+}
+
+void MotifRunner::finish_rank(int) {
+  --unfinished_;
+  if (cluster_.engine().now() > result_.makespan) {
+    result_.makespan = cluster_.engine().now();
+  }
+}
+
+}  // namespace rvma::motifs

@@ -1,0 +1,60 @@
+// RVMA-backed motif transport.
+//
+// Setup is purely local: the receiver creates one mailbox per channel and
+// posts a bucket of timing-only buffers (threshold = message bytes). No
+// address exchange crosses the network. Senders fire RVMA_Puts and
+// continue; receivers observe hardware completions via the completion
+// pointer (Monitor/MWait wake). The receiver tops its bucket up locally as
+// buffers complete — the paper's RVMA_Win_get_epoch "keep N buffers
+// posted" pattern — so senders never stall on the receiver.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/endpoint.hpp"
+#include "motifs/transport.hpp"
+#include "nic/nic.hpp"
+
+namespace rvma::motifs {
+
+class RvmaTransport final : public Transport {
+ public:
+  /// `bucket_depth`: buffers kept posted per mailbox at any time.
+  RvmaTransport(nic::Cluster& cluster, const core::RvmaParams& params,
+                int bucket_depth = 16);
+
+  std::string name() const override { return "rvma"; }
+  void setup(const std::vector<Channel>& channels,
+             std::function<void()> ready) override;
+  void recv_post(int dst, int src, std::uint64_t tag) override;
+  void send(int src, int dst, std::uint64_t tag,
+            std::function<void()> done) override;
+  void recv_wait(int dst, int src, std::uint64_t tag,
+                 std::function<void()> done) override;
+  const TransportStats& stats() const override { return stats_; }
+
+  core::RvmaEndpoint& endpoint(int node) { return *endpoints_[node]; }
+
+ private:
+  struct ChannelState {
+    Channel ch;
+    std::uint64_t vaddr = 0;
+    int remaining_posts = 0;    ///< buffers not yet posted
+    std::uint64_t completed = 0;
+    std::uint64_t consumed = 0;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  ChannelState& state(int src, int dst, std::uint64_t tag);
+
+  nic::Cluster& cluster_;
+  int bucket_depth_;
+  std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
+  std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
+  TransportStats stats_;
+  std::uint64_t next_vaddr_ = 0x11FF0000;  // mailbox namespace
+};
+
+}  // namespace rvma::motifs

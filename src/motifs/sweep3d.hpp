@@ -1,0 +1,36 @@
+// Sweep3D motif (paper Fig. 7): a KBA wavefront sweep over a 2-D process
+// decomposition, the "wave of communication happening over all of the
+// processes". Latency sensitive: each rank's step depends on upstream
+// neighbors, so per-message protocol overhead multiplies along the
+// wavefront diagonal.
+#pragma once
+
+#include "motifs/runner.hpp"
+
+namespace rvma::motifs {
+
+struct Sweep3DConfig {
+  int pex = 8;   ///< process grid x extent
+  int pey = 8;   ///< process grid y extent
+  int nx = 32;   ///< local grid cells per rank, x
+  int ny = 32;   ///< local grid cells per rank, y
+  int nz = 64;   ///< global z extent
+  int kba = 8;   ///< z-block size (KBA pipelining depth)
+  int vars = 1;  ///< variables per cell face
+  Time compute_per_cell = 2 * kNanosecond;  ///< per-cell work per block
+
+  int ranks() const { return pex * pey; }
+  int z_steps() const { return (nz + kba - 1) / kba; }
+  std::uint64_t x_msg_bytes() const {
+    return static_cast<std::uint64_t>(ny) * kba * vars * sizeof(double);
+  }
+  std::uint64_t y_msg_bytes() const {
+    return static_cast<std::uint64_t>(nx) * kba * vars * sizeof(double);
+  }
+};
+
+/// Build per-rank programs for the 8-octant sweep (4 distinct corner
+/// directions in the 2-D decomposition, each swept twice for +z / -z).
+std::vector<RankProgram> build_sweep3d(const Sweep3DConfig& config);
+
+}  // namespace rvma::motifs

@@ -1,0 +1,184 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/trace.hpp"
+
+namespace rvma::net {
+
+int Fabric::add_switch(Time latency, Bandwidth xbar_bw) {
+  switches_.push_back(Switch{latency, xbar_bw, {}});
+  return static_cast<int>(switches_.size()) - 1;
+}
+
+int Fabric::add_port(int sw, LinkParams link) {
+  auto& ports = switches_[sw].ports;
+  ports.push_back(Port{link, -1, -1, -1, 0});
+  return static_cast<int>(ports.size()) - 1;
+}
+
+void Fabric::connect(int sw_a, int port_a, int sw_b, int port_b) {
+  Port& a = switches_[sw_a].ports[port_a];
+  Port& b = switches_[sw_b].ports[port_b];
+  assert(a.peer_switch == -1 && a.peer_node == -1 && "port already wired");
+  assert(b.peer_switch == -1 && b.peer_node == -1 && "port already wired");
+  a.peer_switch = sw_b;
+  a.peer_port = port_b;
+  b.peer_switch = sw_a;
+  b.peer_port = port_a;
+}
+
+int Fabric::attach_node(int sw, NodeId node, LinkParams link) {
+  if (node >= static_cast<NodeId>(node_attach_.size())) {
+    node_attach_.resize(node + 1);
+  }
+  NodeAttach& at = node_attach_[node];
+  assert(at.sw == -1 && "node attached twice");
+  const int port = add_port(sw, link);
+  switches_[sw].ports[port].peer_node = node;
+  at.sw = sw;
+  at.port = port;
+  at.injection = Port{link, sw, port, -1, 0};
+  return port;
+}
+
+void Fabric::set_delivery(NodeId node, Delivery fn) {
+  assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  node_attach_[node].delivery = std::move(fn);
+}
+
+Time Fabric::port_backlog(int sw, int port) const {
+  const Time busy = switches_[sw].ports[port].busy_until;
+  const Time now = engine_.now();
+  return busy > now ? busy - now : 0;
+}
+
+Time Fabric::injection_backlog(NodeId node) const {
+  const Time busy = node_attach_[node].injection.busy_until;
+  const Time now = engine_.now();
+  return busy > now ? busy - now : 0;
+}
+
+void Fabric::fail_node(NodeId node) {
+  assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  node_attach_[node].failed = true;
+}
+
+void Fabric::revive_node(NodeId node) {
+  assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  node_attach_[node].failed = false;
+}
+
+bool Fabric::node_failed(NodeId node) const {
+  return node_attach_[node].failed;
+}
+
+void Fabric::inject(Packet&& pkt) {
+  assert(pkt.src >= 0 && pkt.src < static_cast<NodeId>(node_attach_.size()));
+  assert(pkt.dst >= 0 && pkt.dst < static_cast<NodeId>(node_attach_.size()));
+  if (node_attach_[pkt.src].failed || node_attach_[pkt.dst].failed) {
+    ++stats_.packets_dropped_dead_node;
+    return;
+  }
+  ++stats_.packets_injected;
+  pkt.injected_at = engine_.now();
+  trace_event(engine_.now(), "pkt_inject",
+              {{"src", pkt.src},
+               {"dst", pkt.dst},
+               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+               {"seq", pkt.seq},
+               {"bytes", pkt.bytes}});
+
+  NodeAttach& at = node_attach_[pkt.src];
+  Port& inj = at.injection;
+  const std::uint64_t wire = pkt.wire_bytes();
+  const Time start = std::max(engine_.now(), inj.busy_until);
+  const Time finish = start + inj.link.bw.serialize(wire);
+  inj.busy_until = finish;
+  const Time arrival = finish + inj.link.latency;
+  const int sw = at.sw;
+  engine_.schedule_at(arrival, [this, sw, pkt = std::move(pkt)]() mutable {
+    arrive_at_switch(sw, std::move(pkt));
+  });
+}
+
+void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
+  ++pkt.hops;
+  Switch& s = switches_[sw];
+
+  int port;
+  const NodeAttach& dst_at = node_attach_[pkt.dst];
+  if (dst_at.sw == sw) {
+    port = dst_at.port;  // ejection to the destination node
+  } else {
+    port = router_(sw, pkt);
+    assert(port >= 0 && port < static_cast<int>(s.ports.size()));
+  }
+
+  Port& p = s.ports[port];
+  const std::uint64_t wire = pkt.wire_bytes();
+  const Time backlog = p.busy_until > engine_.now() ? p.busy_until - engine_.now() : 0;
+  stats_.max_port_backlog = std::max(stats_.max_port_backlog, backlog);
+  const Time xbar_done = engine_.now() + s.latency + s.xbar_bw.serialize(wire);
+  const Time start = std::max(xbar_done, p.busy_until);
+  const Time finish = start + p.link.bw.serialize(wire);
+  p.busy_until = finish;
+  const Time arrival = finish + p.link.latency;
+
+  if (p.peer_node >= 0) {
+    const NodeId node = p.peer_node;
+    engine_.schedule_at(arrival, [this, node, pkt = std::move(pkt)]() mutable {
+      deliver(node, std::move(pkt));
+    });
+  } else {
+    const int next = p.peer_switch;
+    assert(next >= 0 && "packet routed to an unwired port");
+    engine_.schedule_at(arrival, [this, next, pkt = std::move(pkt)]() mutable {
+      arrive_at_switch(next, std::move(pkt));
+    });
+  }
+}
+
+void Fabric::deliver(NodeId node, Packet&& pkt) {
+  if (node_attach_[node].failed) {
+    ++stats_.packets_dropped_dead_node;
+    return;
+  }
+  ++stats_.packets_delivered;
+  stats_.total_hops += pkt.hops;
+  stats_.wire_bytes_delivered += pkt.wire_bytes();
+  trace_event(engine_.now(), "pkt_deliver",
+              {{"src", pkt.src},
+               {"dst", pkt.dst},
+               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+               {"seq", pkt.seq},
+               {"hops", pkt.hops},
+               {"lat_ps", static_cast<std::int64_t>(engine_.now() -
+                                                    pkt.injected_at)}});
+  NodeAttach& at = node_attach_[node];
+  assert(at.delivery && "packet delivered to node without a NIC");
+  at.delivery(std::move(pkt));
+}
+
+void Fabric::check_wired() const {
+  for (std::size_t sw = 0; sw < switches_.size(); ++sw) {
+    const auto& ports = switches_[sw].ports;
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (ports[p].peer_switch < 0 && ports[p].peer_node < 0) {
+        std::fprintf(stderr, "fabric: switch %zu port %zu unwired\n", sw, p);
+        std::abort();
+      }
+    }
+  }
+  for (std::size_t n = 0; n < node_attach_.size(); ++n) {
+    if (node_attach_[n].sw < 0) {
+      std::fprintf(stderr, "fabric: node %zu unattached\n", n);
+      std::abort();
+    }
+  }
+}
+
+}  // namespace rvma::net

@@ -1,0 +1,120 @@
+// Switch fabric: output-queued switches connected by point-to-point links.
+//
+// Model (paper §V-B1): each switch forwards a packet through its crossbar
+// at 1.5x the link bandwidth (configurable factor) plus a fixed traversal
+// latency, then serializes it onto the chosen output port. Output ports are
+// FIFO resources (`busy_until`), so a single deterministic path delivers
+// in order — the property RDMA's last-byte polling depends on — while
+// adaptive per-packet path choice yields genuine out-of-order arrival.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/types.hpp"
+#include "sim/engine.hpp"
+
+namespace rvma::net {
+
+struct LinkParams {
+  Bandwidth bw = Bandwidth::gbps(100);
+  Time latency = 100 * kNanosecond;  ///< propagation (wire/SerDes) delay
+};
+
+struct Port {
+  LinkParams link;
+  std::int32_t peer_switch = -1;  ///< -1 when the peer is a node
+  std::int32_t peer_port = -1;
+  NodeId peer_node = -1;
+  Time busy_until = 0;
+};
+
+struct Switch {
+  Time latency = 100 * kNanosecond;  ///< fixed crossbar traversal latency
+  Bandwidth xbar_bw;                 ///< crossbar serialization bandwidth
+  std::vector<Port> ports;
+};
+
+struct FabricStats {
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t total_hops = 0;
+  std::uint64_t wire_bytes_delivered = 0;
+  std::uint64_t packets_dropped_dead_node = 0;  ///< failure injection
+  Time max_port_backlog = 0;  ///< worst output-queue depth seen (in time)
+};
+
+class Fabric {
+ public:
+  /// Routes a transit packet at `sw`; returns the output port index.
+  using Router = std::function<int(int sw, const Packet&)>;
+  /// Per-node delivery callback (installed by the NIC model).
+  using Delivery = std::function<void(Packet&&)>;
+
+  explicit Fabric(sim::Engine& engine) : engine_(engine) {}
+
+  int add_switch(Time latency, Bandwidth xbar_bw);
+  /// Append a port to `sw`; wiring is set later via connect()/attach_node().
+  int add_port(int sw, LinkParams link);
+  /// Wire two existing switch ports together (bidirectional pair).
+  void connect(int sw_a, int port_a, int sw_b, int port_b);
+  /// Create a port on `sw` facing `node` and an injection link back.
+  /// Returns the switch-side port index.
+  int attach_node(int sw, NodeId node, LinkParams link);
+
+  void set_delivery(NodeId node, Delivery fn);
+  void set_router(Router fn) { router_ = std::move(fn); }
+
+  /// Inject a packet from its source node's injection link.
+  void inject(Packet&& pkt);
+
+  sim::Engine& engine() { return engine_; }
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+  int num_attached_nodes() const { return static_cast<int>(node_attach_.size()); }
+  const Switch& switch_at(int sw) const { return switches_[sw]; }
+  int switch_of_node(NodeId node) const { return node_attach_[node].sw; }
+
+  /// Output-queue backlog of (sw, port) relative to now; the congestion
+  /// signal adaptive routing policies compare.
+  Time port_backlog(int sw, int port) const;
+
+  /// Backlog (in serialization time) of `node`'s injection link — how far
+  /// ahead of the wire the NIC's transmit queue currently runs.
+  Time injection_backlog(NodeId node) const;
+
+  const FabricStats& stats() const { return stats_; }
+
+  /// Failure injection: from now on, packets destined to or originating
+  /// from `node` are silently dropped (the node has died). Used by the
+  /// fault-tolerance experiments (paper §IV-F).
+  void fail_node(NodeId node);
+  /// Revive a failed node (e.g. restart after recovery).
+  void revive_node(NodeId node);
+  bool node_failed(NodeId node) const;
+
+  /// Validate that every port is wired and every node has a delivery
+  /// callback; aborts with a message otherwise. Call after topology build.
+  void check_wired() const;
+
+ private:
+  struct NodeAttach {
+    std::int32_t sw = -1;
+    std::int32_t port = -1;       ///< switch-side (ejection) port
+    Port injection;               ///< node -> switch link state
+    Delivery delivery;
+    bool failed = false;
+  };
+
+  void arrive_at_switch(int sw, Packet&& pkt);
+  void deliver(NodeId node, Packet&& pkt);
+
+  sim::Engine& engine_;
+  std::vector<Switch> switches_;
+  std::vector<NodeAttach> node_attach_;
+  Router router_;
+  FabricStats stats_;
+};
+
+}  // namespace rvma::net

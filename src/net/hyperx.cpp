@@ -1,0 +1,78 @@
+#include <cmath>
+
+#include "net/topologies.hpp"
+
+namespace rvma::net {
+
+HyperXTopology::HyperXTopology(const NetworkConfig& config)
+    : config_(config), conc_(config.concentration < 1 ? 1 : config.concentration) {
+  l1_ = config.hx_l1;
+  l2_ = config.hx_l2;
+  if (l1_ == 0 || l2_ == 0) {
+    const int want = (config.nodes_hint + conc_ - 1) / conc_;
+    l1_ = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(want))));
+    if (l1_ < 2) l1_ = 2;
+    l2_ = (want + l1_ - 1) / l1_;
+    if (l2_ < 2) l2_ = 2;
+  }
+  if (l1_ < 2) l1_ = 2;
+  if (l2_ < 2) l2_ = 2;
+}
+
+void HyperXTopology::build(Fabric& fabric) {
+  const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
+  for (int i = 0; i < l1_; ++i) {
+    for (int j = 0; j < l2_; ++j) {
+      const int sw = fabric.add_switch(config_.switch_latency, xbar);
+      for (int p = 0; p < (l1_ - 1) + (l2_ - 1); ++p) {
+        fabric.add_port(sw, config_.link);
+      }
+    }
+  }
+  // Dimension 0: all-to-all among switches sharing j.
+  for (int j = 0; j < l2_; ++j) {
+    for (int i = 0; i < l1_; ++i) {
+      for (int i2 = i + 1; i2 < l1_; ++i2) {
+        fabric.connect(switch_id(i, j), dim0_port(i, i2),
+                       switch_id(i2, j), dim0_port(i2, i));
+      }
+    }
+  }
+  // Dimension 1: all-to-all among switches sharing i.
+  for (int i = 0; i < l1_; ++i) {
+    for (int j = 0; j < l2_; ++j) {
+      for (int j2 = j + 1; j2 < l2_; ++j2) {
+        fabric.connect(switch_id(i, j), dim1_port(j, j2),
+                       switch_id(i, j2), dim1_port(j2, j));
+      }
+    }
+  }
+  for (int i = 0; i < l1_; ++i) {
+    for (int j = 0; j < l2_; ++j) {
+      for (int c = 0; c < conc_; ++c) {
+        fabric.attach_node(switch_id(i, j), (switch_id(i, j)) * conc_ + c,
+                           config_.link);
+      }
+    }
+  }
+}
+
+int HyperXTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
+                          Rng&) {
+  const int dst_sw = fabric.switch_of_node(pkt.dst);
+  const int i = sw / l2_, j = sw % l2_;
+  const int di = dst_sw / l2_, dj = dst_sw % l2_;
+
+  const bool need0 = i != di;
+  const bool need1 = j != dj;
+  if (need0 && need1 && mode == Routing::kAdaptive) {
+    const int p0 = dim0_port(i, di);
+    const int p1 = dim1_port(j, dj);
+    return fabric.port_backlog(sw, p0) <= fabric.port_backlog(sw, p1) ? p0 : p1;
+  }
+  if (need0) return dim0_port(i, di);  // static: dimension-order, dim 0 first
+  if (need1) return dim1_port(j, dj);
+  return -1;  // unreachable: dst attached here
+}
+
+}  // namespace rvma::net

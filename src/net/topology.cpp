@@ -1,0 +1,53 @@
+#include "net/topology.hpp"
+
+#include <stdexcept>
+
+#include "net/topologies.hpp"
+
+namespace rvma::net {
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kStar: return "star";
+    case TopologyKind::kTorus3D: return "torus3d";
+    case TopologyKind::kFatTree: return "fattree";
+    case TopologyKind::kDragonfly: return "dragonfly";
+    case TopologyKind::kHyperX: return "hyperx";
+  }
+  return "?";
+}
+
+std::string to_string(Routing routing) {
+  return routing == Routing::kStatic ? "static" : "adaptive";
+}
+
+std::unique_ptr<Topology> make_topology(const NetworkConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kStar:
+      return std::make_unique<StarTopology>(config);
+    case TopologyKind::kTorus3D:
+      return std::make_unique<Torus3DTopology>(config);
+    case TopologyKind::kFatTree:
+      return std::make_unique<FatTreeTopology>(config);
+    case TopologyKind::kDragonfly:
+      return std::make_unique<DragonflyTopology>(config);
+    case TopologyKind::kHyperX:
+      return std::make_unique<HyperXTopology>(config);
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+Network::Network(sim::Engine& engine, const NetworkConfig& config)
+    : config_(config), fabric_(engine), rng_(config.seed ^ 0x746f706fULL) {
+  topology_ = make_topology(config_);
+  topology_->build(fabric_);
+  fabric_.check_wired();
+  fabric_.set_router([this](int sw, const Packet& pkt) {
+    // route() may stash per-packet state (Valiant detours), so cast away
+    // the const the Fabric::Router signature imposes on transit packets.
+    return topology_->route(fabric_, sw, const_cast<Packet&>(pkt),
+                            config_.routing, rng_);
+  });
+}
+
+}  // namespace rvma::net

@@ -1,0 +1,97 @@
+// Topology interface and the Network facade that owns fabric + routing.
+//
+// The paper evaluates RVMA vs RDMA across dragonfly, fat-tree, HyperX and
+// torus topologies under static (deterministic) and adaptive routing
+// (paper Figures 7 and 8). Each topology builds its own wiring and
+// implements both routing modes; adaptive modes consult output-port
+// backlogs, producing per-packet path diversity and therefore out-of-order
+// arrival — the network condition RVMA is designed for.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+#include "net/types.hpp"
+
+namespace rvma::net {
+
+enum class Routing {
+  kStatic,   ///< deterministic single path per (src, dst): in-order delivery
+  kAdaptive  ///< per-packet congestion-aware choice: may reorder
+};
+
+enum class TopologyKind { kStar, kTorus3D, kFatTree, kDragonfly, kHyperX };
+
+std::string to_string(TopologyKind kind);
+std::string to_string(Routing routing);
+
+struct NetworkConfig {
+  TopologyKind topology = TopologyKind::kStar;
+  Routing routing = Routing::kStatic;
+
+  /// Desired endpoint count; the topology rounds up to its natural size.
+  int nodes_hint = 2;
+
+  LinkParams link;                     ///< applied to every link
+  Time switch_latency = 100 * kNanosecond;
+  double xbar_factor = 1.5;            ///< crossbar bw = factor * link bw
+
+  /// Endpoints per switch (torus / hyperx concentration; dragonfly uses p).
+  int concentration = 1;
+
+  // Topology-specific shape overrides; 0 means derive from nodes_hint.
+  int torus_x = 0, torus_y = 0, torus_z = 0;
+  int fat_k = 0;                       ///< k-ary 3-level fat-tree arity
+  int df_p = 0, df_a = 0, df_h = 0;    ///< dragonfly nodes/sw, sw/grp, global links/sw
+  int hx_l1 = 0, hx_l2 = 0;            ///< HyperX lattice extents
+
+  std::uint64_t seed = 1;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Total endpoints created by build().
+  virtual int num_nodes() const = 0;
+
+  /// Construct switches, wire links, attach nodes.
+  virtual void build(Fabric& fabric) = 0;
+
+  /// Select the output port for a transit packet (dst not on `sw`).
+  virtual int route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
+                    Rng& rng) = 0;
+
+  /// Expected hop count bounds, used by tests.
+  virtual int diameter() const = 0;
+};
+
+/// Owns the engine-facing pieces: fabric, topology, routing policy, RNG.
+class Network {
+ public:
+  Network(sim::Engine& engine, const NetworkConfig& config);
+
+  int num_nodes() const { return topology_->num_nodes(); }
+  Fabric& fabric() { return fabric_; }
+  const NetworkConfig& config() const { return config_; }
+  Topology& topology() { return *topology_; }
+
+  void set_delivery(NodeId node, Fabric::Delivery fn) {
+    fabric_.set_delivery(node, std::move(fn));
+  }
+  void inject(Packet&& pkt) { fabric_.inject(std::move(pkt)); }
+
+ private:
+  NetworkConfig config_;
+  Fabric fabric_;
+  std::unique_ptr<Topology> topology_;
+  Rng rng_;
+};
+
+/// Factory for the topology named in `config` (used by Network; exposed for
+/// tests that want to poke a topology directly).
+std::unique_ptr<Topology> make_topology(const NetworkConfig& config);
+
+}  // namespace rvma::net

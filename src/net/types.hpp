@@ -1,0 +1,80 @@
+// Wire-level types shared by the fabric, NIC models, and protocol layers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rvma::net {
+
+using NodeId = std::int32_t;
+using MsgId = std::uint64_t;
+
+/// Process id within a node — the PID half of the paper's NID/PID
+/// addressing ("if remote process space targeting is desirable", §III-C).
+using Pid = std::uint16_t;
+
+/// Protocol header carried by every message/packet. The network treats it
+/// as opaque; the RDMA / RVMA endpoint models interpret the fields. `kind`
+/// encodes (protocol class << 8) | opcode so one NIC can host several
+/// protocol endpoints; `dst_pid`/`src_pid` steer between processes
+/// sharing a NIC.
+struct WireHeader {
+  std::uint32_t kind = 0;   ///< (proto << 8) | op
+  Pid dst_pid = 0;          ///< target process on the destination node
+  Pid src_pid = 0;          ///< originating process (reply address)
+  std::uint64_t addr = 0;   ///< RVMA mailbox vaddr or RDMA remote address
+  std::uint64_t offset = 0; ///< byte offset into the target buffer/window
+  std::uint64_t imm = 0;    ///< immediate data / auxiliary scalar
+  std::uint64_t imm2 = 0;   ///< second auxiliary scalar (lengths, epochs)
+};
+
+constexpr std::uint32_t proto_of(std::uint32_t kind) { return kind >> 8; }
+constexpr std::uint32_t op_of(std::uint32_t kind) { return kind & 0xff; }
+constexpr std::uint32_t make_kind(std::uint32_t proto, std::uint32_t op) {
+  return (proto << 8) | op;
+}
+
+/// A message as handed to the NIC for transmission. The NIC segments it
+/// into MTU-sized packets. `data`, when non-null, points at real payload
+/// bytes owned by the sender; per RDMA/RVMA semantics the buffer must stay
+/// valid until the operation completes. Timing-only workloads leave it
+/// null.
+struct Message {
+  NodeId src = -1;
+  NodeId dst = -1;
+  MsgId id = 0;
+  std::uint64_t bytes = 0;
+  WireHeader hdr;
+  const std::byte* data = nullptr;
+  /// Optional payload ownership: when the sender cannot keep its buffer
+  /// alive for the transfer's duration, it hands a copy here and points
+  /// `data` into it; the message (and all its packets) keep it alive.
+  std::shared_ptr<const std::vector<std::byte>> owned;
+  Time created_at = 0;
+};
+
+/// One packet on the wire. Packets of a message share the Message
+/// descriptor; `offset`/`bytes` delimit this packet's slice of the payload.
+struct Packet {
+  NodeId src = -1;
+  NodeId dst = -1;
+  std::shared_ptr<const Message> msg;
+  std::uint64_t offset = 0;  ///< payload offset within the message
+  std::uint32_t bytes = 0;   ///< payload bytes in this packet
+  std::uint32_t header_bytes = 32;
+  std::uint32_t seq = 0;     ///< packet index within the message
+  std::uint32_t total = 1;   ///< total packets in the message
+  Time injected_at = 0;
+  std::uint16_t hops = 0;
+
+  // Scratch routing state (e.g. dragonfly Valiant intermediate group).
+  std::int32_t rt_aux = -1;
+  bool rt_mid_done = false;
+
+  std::uint64_t wire_bytes() const { return std::uint64_t{bytes} + header_bytes; }
+};
+
+}  // namespace rvma::net

@@ -1,0 +1,134 @@
+#include "nic/nic.hpp"
+
+#include <cassert>
+
+#include "common/log.hpp"
+#include "common/trace.hpp"
+#include <memory>
+
+namespace rvma::nic {
+
+Nic::Nic(sim::Engine& engine, net::Network& network, NodeId node,
+         const NicParams& params)
+    : engine_(engine), network_(network), node_(node), params_(params) {
+  network_.set_delivery(node_, [this](Packet&& pkt) {
+    handle_delivery(std::move(pkt));
+  });
+}
+
+void Nic::send(Message msg, SendDone on_sent) {
+  assert(msg.dst >= 0 && msg.dst < network_.num_nodes() && "bad destination");
+  msg.src = node_;
+  if (msg.id == 0) {
+    msg.id = (static_cast<std::uint64_t>(node_) << 40) | next_msg_seq_++;
+  }
+  msg.created_at = engine_.now();
+  ++messages_sent_;
+
+  // Host posts the descriptor, rings the doorbell; the NIC fetches it one
+  // PCIe crossing later and runs transmit-queue admission.
+  const Time start = params_.host_overhead + params_.pcie_latency;
+  engine_.schedule(start, [this, msg = std::move(msg),
+                           on_sent = std::move(on_sent)]() mutable {
+    // Admission: if the injection link already runs further ahead of the
+    // wire than the queue depth allows, the descriptor waits its turn.
+    if (!tx_queue_.empty() ||
+        network_.fabric().injection_backlog(node_) > params_.tx_queue_limit) {
+      ++tx_queue_stalls_;
+      tx_queue_.emplace_back(std::move(msg), std::move(on_sent));
+      drain_tx_queue();
+      return;
+    }
+    inject_message(std::move(msg), std::move(on_sent));
+  });
+}
+
+void Nic::drain_tx_queue() {
+  if (drain_scheduled_) return;
+  while (!tx_queue_.empty() &&
+         network_.fabric().injection_backlog(node_) <= params_.tx_queue_limit) {
+    auto [msg, on_sent] = std::move(tx_queue_.front());
+    tx_queue_.pop_front();
+    inject_message(std::move(msg), std::move(on_sent));
+  }
+  if (tx_queue_.empty()) return;
+  // Re-check when enough backlog has drained to admit the next message.
+  const Time wait =
+      network_.fabric().injection_backlog(node_) - params_.tx_queue_limit;
+  drain_scheduled_ = true;
+  engine_.schedule(std::max<Time>(wait, kNanosecond), [this] {
+    drain_scheduled_ = false;
+    drain_tx_queue();
+  });
+}
+
+void Nic::inject_message(Message msg, SendDone on_sent) {
+  {
+    auto shared = std::make_shared<const Message>(std::move(msg));
+    const std::uint64_t bytes = shared->bytes;
+    const std::uint32_t total = bytes == 0
+        ? 1
+        : static_cast<std::uint32_t>((bytes + params_.mtu - 1) / params_.mtu);
+    std::uint64_t offset = 0;
+    for (std::uint32_t seq = 0; seq < total; ++seq) {
+      Packet pkt;
+      pkt.src = shared->src;
+      pkt.dst = shared->dst;
+      pkt.msg = shared;
+      pkt.offset = offset;
+      pkt.bytes = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(params_.mtu, bytes - offset));
+      pkt.header_bytes = params_.header_bytes;
+      pkt.seq = seq;
+      pkt.total = total;
+      offset += pkt.bytes;
+      network_.inject(std::move(pkt));
+    }
+    if (on_sent) on_sent();
+  }
+}
+
+void Nic::register_proto(std::uint32_t proto, PacketHandler handler,
+                         net::Pid pid) {
+  assert(proto < kMaxProto);
+  handlers_[(proto << 16) | pid] = std::move(handler);
+}
+
+void Nic::handle_delivery(Packet&& pkt) {
+  ++packets_received_;
+  const std::uint32_t proto = net::proto_of(pkt.msg->hdr.kind);
+  const std::uint32_t key = (proto << 16) | pkt.msg->hdr.dst_pid;
+  if (!handlers_.contains(key)) {
+    // A remote peer targeted a protocol/process this node does not run —
+    // a network-visible condition, not a local bug: drop.
+    ++packets_dropped_no_handler_;
+    RVMA_LOG_WARN("nic %d: dropping packet for proto %u pid %u", node_,
+                  proto, pkt.msg->hdr.dst_pid);
+    return;
+  }
+  // Receive pipeline: fixed per-packet processing before the protocol
+  // engine (lookup, placement, counting) sees it.
+  engine_.schedule(params_.rx_proc, [this, key, pkt = std::move(pkt)]() {
+    handlers_[key](pkt);
+  });
+}
+
+Cluster::Cluster(const net::NetworkConfig& net_config,
+                 const NicParams& nic_params) {
+  // Every experiment builds a Cluster, so this is the one-time hook for
+  // the environment-driven diagnostics (RVMA_LOG / RVMA_TRACE).
+  static const bool env_initialized = [] {
+    init_log_from_env();
+    init_trace_from_env();
+    return true;
+  }();
+  (void)env_initialized;
+  network_ = std::make_unique<net::Network>(engine_, net_config);
+  const int n = network_->num_nodes();
+  nics_.reserve(n);
+  for (NodeId node = 0; node < n; ++node) {
+    nics_.push_back(std::make_unique<Nic>(engine_, *network_, node, nic_params));
+  }
+}
+
+}  // namespace rvma::nic

@@ -1,0 +1,113 @@
+// NIC and host-interface model.
+//
+// The NIC sits between protocol endpoints (RDMA baseline, RVMA core) and
+// the switch fabric. Its job here: charge the host-side costs every message
+// pays regardless of protocol — send-posting software overhead, the PCIe
+// doorbell/descriptor crossing (150 ns in the paper's SST models), MTU
+// segmentation on transmit, and per-packet receive processing — then
+// dispatch received packets to the protocol endpoint that owns them.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+#include <deque>
+#include <utility>
+#include <cstdint>
+#include <functional>
+
+#include "net/topology.hpp"
+#include "sim/engine.hpp"
+
+namespace rvma::nic {
+
+using net::Message;
+using net::MsgId;
+using net::NodeId;
+using net::Packet;
+
+struct NicParams {
+  std::uint32_t mtu = 4096;          ///< max payload bytes per packet
+  std::uint32_t header_bytes = 32;   ///< per-packet wire header
+  Time host_overhead = 50 * kNanosecond;  ///< software cost to post a send
+  Time pcie_latency = 150 * kNanosecond;  ///< host <-> NIC crossing (paper)
+  Time rx_proc = 10 * kNanosecond;        ///< per-packet receive pipeline
+  /// Transmit-queue depth expressed as injection-link backlog time; sends
+  /// that would exceed it wait in the host. The default models the paper's
+  /// "ample queue depths on the simulated NIC" (never a constraint).
+  Time tx_queue_limit = kTimeInfinity;
+};
+
+/// Protocol class identifiers used in WireHeader::kind (proto << 8 | op).
+inline constexpr std::uint32_t kProtoRdma = 1;
+inline constexpr std::uint32_t kProtoRvma = 2;
+inline constexpr std::uint32_t kMaxProto = 4;
+
+class Nic {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+  /// Invoked when the last packet of a message has been handed to the
+  /// injection link (the send buffer is owned by the NIC from then on).
+  using SendDone = std::function<void()>;
+
+  Nic(sim::Engine& engine, net::Network& network, NodeId node,
+      const NicParams& params);
+
+  NodeId node() const { return node_; }
+  const NicParams& params() const { return params_; }
+  sim::Engine& engine() { return engine_; }
+
+  /// Post a message for transmission. Charges host overhead + PCIe, then
+  /// segments into MTU packets and injects them. Assigns msg.id if zero.
+  void send(Message msg, SendDone on_sent = {});
+
+  /// Register the handler for a protocol class (kProtoRdma / kProtoRvma)
+  /// and process id; packets dispatch on (proto, hdr.dst_pid), so several
+  /// endpoints (processes) can share the NIC.
+  void register_proto(std::uint32_t proto, PacketHandler handler,
+                      net::Pid pid = 0);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t tx_queue_stalls() const { return tx_queue_stalls_; }
+  std::uint64_t packets_dropped_no_handler() const {
+    return packets_dropped_no_handler_;
+  }
+
+ private:
+  void handle_delivery(Packet&& pkt);
+  void inject_message(Message msg, SendDone on_sent);
+  void drain_tx_queue();
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  NodeId node_;
+  NicParams params_;
+  // Dispatch key: (proto << 16) | pid.
+  std::unordered_map<std::uint32_t, PacketHandler> handlers_;
+  std::uint64_t next_msg_seq_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t tx_queue_stalls_ = 0;
+  std::uint64_t packets_dropped_no_handler_ = 0;
+  std::deque<std::pair<Message, SendDone>> tx_queue_;
+  bool drain_scheduled_ = false;
+};
+
+/// Engine + network + one NIC per node: the simulated machine every
+/// experiment instantiates.
+class Cluster {
+ public:
+  Cluster(const net::NetworkConfig& net_config, const NicParams& nic_params);
+
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return *network_; }
+  Nic& nic(NodeId node) { return *nics_[node]; }
+  int num_nodes() const { return network_->num_nodes(); }
+
+ private:
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace rvma::nic

@@ -1,0 +1,254 @@
+#include "perf/latency.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/endpoint.hpp"
+#include "nic/nic.hpp"
+#include "rdma/rdma.hpp"
+
+namespace rvma::perf {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::kRdmaStatic: return "rdma-static";
+    case Mode::kRdmaAdaptive: return "rdma-adaptive";
+    case Mode::kRvma: return "rvma";
+  }
+  return "?";
+}
+
+namespace {
+
+net::NetworkConfig two_node_config(const SystemProfile& profile,
+                                   std::uint64_t seed) {
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kStar;
+  cfg.nodes_hint = 2;
+  cfg.link = profile.link;
+  cfg.switch_latency = profile.switch_latency;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// ±2% multiplicative host-overhead variation per run: the run-to-run
+/// system noise behind the paper's error bars.
+nic::NicParams jittered(const nic::NicParams& base, Rng& rng) {
+  nic::NicParams params = base;
+  const double factor = 1.0 + 0.02 * (rng.next_double() - 0.5);
+  params.host_overhead =
+      static_cast<Time>(static_cast<double>(base.host_overhead) * factor);
+  return params;
+}
+
+std::vector<Time> run_rvma(const SystemProfile& profile,
+                           const nic::NicParams& nic_params,
+                           std::uint64_t bytes, int iters,
+                           std::uint64_t seed) {
+  nic::Cluster cluster(two_node_config(profile, seed), nic_params);
+  core::RvmaEndpoint sender(cluster.nic(0), profile.rvma);
+  core::RvmaEndpoint receiver(cluster.nic(1), profile.rvma);
+
+  constexpr std::uint64_t kDataV = 0x100, kBounceV = 0x200;
+  receiver.init_window(kDataV, static_cast<std::int64_t>(bytes),
+                       core::EpochType::kBytes);
+  sender.init_window(kBounceV, 1, core::EpochType::kOps);
+
+  std::vector<Time> lat;
+  lat.reserve(iters);
+  auto& engine = cluster.engine();
+  struct State {
+    int remaining;
+    Time iter_start = 0;
+  } st{iters, 0};
+
+  auto start_iter = [&] {
+    receiver.post_buffer_timing_only(kDataV, bytes);
+    st.iter_start = engine.now();
+    // The communication library's per-operation posting cost.
+    engine.schedule(profile.op_post_overhead,
+                    [&] { sender.put(1, kDataV, 0, nullptr, bytes); });
+  };
+  receiver.set_completion_observer(kDataV, [&](void*, std::int64_t) {
+    // Completion-callback dispatch back into the application.
+    lat.push_back(engine.now() - st.iter_start + profile.op_complete_overhead);
+    receiver.put(0, kBounceV, 0, nullptr, 8);  // serialize iterations
+  });
+  sender.set_completion_observer(kBounceV, [&](void*, std::int64_t) {
+    if (--st.remaining > 0) start_iter();
+  });
+  engine.schedule(0, [&] {
+    sender.post_buffer_timing_only(kBounceV, 64);
+    // Keep bounce buffers flowing.
+    for (int i = 1; i < iters; ++i) {
+      sender.post_buffer_timing_only(kBounceV, 64);
+    }
+    start_iter();
+  });
+  engine.run();
+  assert(st.remaining == 0 || iters == 0);
+  return lat;
+}
+
+std::vector<Time> run_rdma(const SystemProfile& profile,
+                           const nic::NicParams& nic_params, bool adaptive,
+                           std::uint64_t bytes, int iters,
+                           std::uint64_t seed) {
+  nic::Cluster cluster(two_node_config(profile, seed), nic_params);
+  rdma::RdmaEndpoint sender(cluster.nic(0), profile.rdma);
+  rdma::RdmaEndpoint receiver(cluster.nic(1), profile.rdma);
+
+  std::vector<Time> lat;
+  lat.reserve(iters);
+  auto& engine = cluster.engine();
+  struct State {
+    int remaining;
+    Time iter_start = 0;
+    rdma::RemoteBuffer remote;
+    std::uint64_t region_addr = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = iters;
+
+  // Completion observation at the target, then a bounce send back to the
+  // initiator (outside the measured one-way path) to serialize iterations.
+  std::function<void()> start_iter = [&, st] {
+    st->iter_start = engine.now();
+    if (adaptive) {
+      // Spec-compliant: put, wait local completion, trailing send/recv.
+      engine.schedule(profile.op_post_overhead, [&, st] {
+        sender.put(st->remote, 0, nullptr, bytes,
+                   [&, st] { sender.send(1, /*imm=*/1); });
+      });
+      receiver.post_recv([&, st](const rdma::Completion&) {
+        lat.push_back(engine.now() - st->iter_start +
+                      profile.op_complete_overhead);
+        receiver.send(0, /*imm=*/2);
+      });
+    } else {
+      // Static routing: last-byte polling at the target.
+      receiver.arm_last_byte_poll(st->region_addr, bytes,
+                                  [&, st](Time, std::uint64_t) {
+                                    lat.push_back(engine.now() -
+                                                  st->iter_start +
+                                                  profile.op_complete_overhead);
+                                    receiver.send(0, /*imm=*/2);
+                                  });
+      engine.schedule(profile.op_post_overhead, [&, st] {
+        sender.put(st->remote, 0, nullptr, bytes, {});
+      });
+    }
+    sender.post_recv([&, st](const rdma::Completion&) {
+      if (--st->remaining > 0) start_iter();
+    });
+  };
+
+  // Buffer negotiation happens once and is excluded from the steady-state
+  // latency, as in perftest (Fig. 6 studies its amortization separately).
+  // The receiver learns its region address from the registration count.
+  receiver.serve_buffer_requests(
+      [](std::uint64_t, std::uint64_t) { return std::span<std::byte>{}; },
+      [st](std::uint64_t, std::uint64_t addr, std::uint64_t) {
+        st->region_addr = addr;
+      });
+  engine.schedule(0, [&, st] {
+    sender.request_buffer(1, bytes, [&, st](rdma::RemoteBuffer rb) {
+      st->remote = rb;
+      start_iter();
+    });
+  });
+  engine.run();
+  assert(st->remaining == 0 || iters == 0);
+  return lat;
+}
+
+double mean_us(const std::vector<Time>& samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (Time t : samples) sum += to_us(t);
+  return sum / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
+                                  std::uint64_t bytes, int iters, int runs,
+                                  std::uint64_t seed) {
+  Rng rng(seed ^ 0x6c617465ULL);
+  Samples run_means;
+  for (int run = 0; run < runs; ++run) {
+    const nic::NicParams nic_params = jittered(profile.nic, rng);
+    const std::uint64_t run_seed = seed * 1000003ULL + run;
+    std::vector<Time> samples;
+    switch (mode) {
+      case Mode::kRvma:
+        samples = run_rvma(profile, nic_params, bytes, iters, run_seed);
+        break;
+      case Mode::kRdmaStatic:
+        samples = run_rdma(profile, nic_params, false, bytes, iters, run_seed);
+        break;
+      case Mode::kRdmaAdaptive:
+        samples = run_rdma(profile, nic_params, true, bytes, iters, run_seed);
+        break;
+    }
+    run_means.add(mean_us(samples));
+  }
+  LatencyResult result;
+  result.mean_us = run_means.mean();
+  result.stddev_us = run_means.stddev();
+  result.min_us = run_means.min();
+  result.max_us = run_means.max();
+  result.runs = runs;
+  result.iters_per_run = iters;
+  return result;
+}
+
+Time measure_one_put(const SystemProfile& profile, Mode mode,
+                     std::uint64_t bytes) {
+  std::vector<Time> samples;
+  switch (mode) {
+    case Mode::kRvma:
+      samples = run_rvma(profile, profile.nic, bytes, 1, 1);
+      break;
+    case Mode::kRdmaStatic:
+      samples = run_rdma(profile, profile.nic, false, bytes, 1, 1);
+      break;
+    case Mode::kRdmaAdaptive:
+      samples = run_rdma(profile, profile.nic, true, bytes, 1, 1);
+      break;
+  }
+  assert(samples.size() == 1);
+  return samples[0];
+}
+
+Time measure_setup_time(const SystemProfile& profile, std::uint64_t bytes) {
+  nic::Cluster cluster(two_node_config(profile, 7), profile.nic);
+  rdma::RdmaEndpoint sender(cluster.nic(0), profile.rdma);
+  rdma::RdmaEndpoint receiver(cluster.nic(1), profile.rdma);
+  receiver.serve_buffer_requests(
+      [](std::uint64_t, std::uint64_t) { return std::span<std::byte>{}; });
+  Time done_at = 0;
+  cluster.engine().schedule(0, [&] {
+    sender.request_buffer(1, bytes, [&](rdma::RemoteBuffer) {
+      done_at = cluster.engine().now();
+    });
+  });
+  cluster.engine().run();
+  assert(done_at > 0);
+  return done_at;
+}
+
+std::uint64_t amortization_exchanges(Time setup, Time transfer,
+                                     double margin) {
+  if (transfer == 0) return 0;
+  // Smallest n with (setup + n*transfer) / n <= (1 + margin) * transfer,
+  // i.e. n >= setup / (margin * transfer).
+  const double n = static_cast<double>(setup) /
+                   (margin * static_cast<double>(transfer));
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+}  // namespace rvma::perf

@@ -1,0 +1,55 @@
+// Two-node put-latency and setup-cost measurements (Figures 4-6).
+//
+// One-way put latency is measured at the *target*: from the initiator
+// issuing the put to the target application observing completion —
+//  * kRdmaStatic   : last-byte polling (valid: static routing is in-order),
+//  * kRdmaAdaptive : put, initiator-side ack/CQ completion, then the
+//                    InfiniBand-spec trailing send/recv, recv-CQ poll,
+//  * kRvma         : threshold completion + completion-pointer MWait wake.
+// Iterations are serialized by a small bounce message outside the measured
+// path, mirroring how perftest serializes one-way latency measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "perf/profiles.hpp"
+
+namespace rvma::perf {
+
+enum class Mode { kRdmaStatic, kRdmaAdaptive, kRvma };
+
+const char* to_string(Mode mode);
+
+struct LatencyResult {
+  double mean_us = 0.0;
+  double stddev_us = 0.0;   ///< across runs (as the paper's error bars)
+  double min_us = 0.0;
+  double max_us = 0.0;
+  int runs = 0;
+  int iters_per_run = 0;
+};
+
+/// Average one-way put latency for `bytes` payloads; `runs` independent
+/// simulations (seeded per run with ±2% host-overhead variation to model
+/// run-to-run system noise) of `iters` serialized iterations each.
+LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
+                                  std::uint64_t bytes, int iters, int runs,
+                                  std::uint64_t seed);
+
+/// Exact one-way latency of a single put with no run-to-run jitter — the
+/// validation hook compared against the analytic pipeline model.
+Time measure_one_put(const SystemProfile& profile, Mode mode,
+                     std::uint64_t bytes);
+
+/// RDMA buffer setup cost: the full negotiation (request, target-side
+/// allocation + registration, reply) for a region of `bytes`, measured by
+/// simulation (Fig. 1 steps 1-3; amortized in Fig. 6).
+Time measure_setup_time(const SystemProfile& profile, std::uint64_t bytes);
+
+/// Fig. 6: number of exchanges after which the per-exchange cost
+/// (setup amortized over n transfers) is within `margin` of the steady
+/// transfer latency. margin = 0.03 is the paper's 3%.
+std::uint64_t amortization_exchanges(Time setup, Time transfer,
+                                     double margin = 0.03);
+
+}  // namespace rvma::perf

@@ -1,0 +1,47 @@
+// System calibration profiles for the microbenchmark figures.
+//
+// The paper measured Figures 4-6 on real hardware:
+//  * Verbs on Intel OmniPath 100 Gbps + Skylake (Platinum 8160) — Fig. 4
+//  * UCX (UCP) on Mellanox ConnectX-5 EDR + ThunderX2 — Figs. 5 and 6
+//
+// We do not have that hardware, so each profile sets the simulator's
+// software/NIC/link constants to land small-message put latency in the
+// band those systems publish (~1 µs class). The figures compare *protocol
+// compositions* on a fixed system — put+last-byte vs. put+ack+send/recv
+// vs. RVMA threshold completion — so the constants set the scale while the
+// composition produces the shape.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "nic/nic.hpp"
+#include "rdma/rdma.hpp"
+
+namespace rvma::perf {
+
+struct SystemProfile {
+  std::string name;
+  net::LinkParams link;
+  Time switch_latency = 100 * kNanosecond;
+  nic::NicParams nic;
+  rdma::RdmaParams rdma;
+  core::RvmaParams rvma;
+  /// Software cost the communication library charges to post one
+  /// application-level operation (protocol selection, request setup).
+  /// Paid once per put in every mode — heavier for UCP than raw Verbs.
+  Time op_post_overhead = 0;
+  /// Software cost to hand a completed operation back to the application
+  /// (callback dispatch / request release). Also mode-independent.
+  Time op_complete_overhead = 0;
+};
+
+/// Verbs on OmniPath 100 Gbps, Skylake host (paper Fig. 4 system).
+SystemProfile verbs_opa();
+
+/// UCX/UCP on ConnectX-5 EDR 100 Gbps, ThunderX2 host (Figs. 5-6 system).
+/// The UCP protocol layer adds software overhead on both sides.
+SystemProfile ucx_cx5();
+
+}  // namespace rvma::perf

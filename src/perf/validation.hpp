@@ -1,0 +1,54 @@
+// Model validation (paper §V-B: "The models are validated against
+// performance results ...").
+//
+// Two independent checks of the simulator:
+//  1. `predict_put_latency` evaluates the documented store-and-forward
+//     pipeline equations (injection serialization, crossbar at 1.5x,
+//     output-port serialization, protocol completion costs) analytically —
+//     no event queue involved. The simulator must reproduce it exactly;
+//     any event-plumbing bug (lost delay, double-charged cost) breaks the
+//     match.
+//  2. LogGP-style asymptotics: measured large-message latency must
+//     approach bytes/bandwidth, and the per-message overhead (latency
+//     minus serialization) must be size-independent for single-packet
+//     messages.
+#pragma once
+
+#include "perf/latency.hpp"
+#include "perf/profiles.hpp"
+
+namespace rvma::perf {
+
+/// Closed-form one-way put latency on the two-node star for `mode`,
+/// computed from the profile's constants without running the simulator.
+Time predict_put_latency(const SystemProfile& profile, Mode mode,
+                         std::uint64_t bytes);
+
+/// Measured one-way latency with run-to-run jitter disabled (single run),
+/// suitable for exact comparison against predict_put_latency.
+Time measure_put_latency_exact(const SystemProfile& profile, Mode mode,
+                               std::uint64_t bytes);
+
+/// Effective bandwidth (payload bits per second of one-way latency) for a
+/// large transfer; should approach the link rate as size grows.
+double effective_bandwidth_gbps(const SystemProfile& profile, Mode mode,
+                                std::uint64_t bytes);
+
+struct ValidationRow {
+  std::uint64_t bytes = 0;
+  Time predicted = 0;
+  Time simulated = 0;
+  double error() const {
+    if (predicted == 0) return 0.0;
+    const double p = static_cast<double>(predicted);
+    const double s = static_cast<double>(simulated);
+    return (s - p) / p;
+  }
+};
+
+/// Run the full validation sweep for one mode.
+std::vector<ValidationRow> validate_mode(const SystemProfile& profile,
+                                         Mode mode,
+                                         const std::vector<std::uint64_t>& sizes);
+
+}  // namespace rvma::perf

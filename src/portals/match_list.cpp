@@ -1,0 +1,35 @@
+#include "portals/match_list.hpp"
+
+namespace rvma::portals {
+
+std::uint64_t MatchList::append(MatchEntry entry) {
+  entry.id = next_id_++;
+  entries_.push_back(entry);
+  return entry.id;
+}
+
+std::optional<MatchEntry> MatchList::match(NodeId src, std::uint64_t bits) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    ++traversed_;
+    if (it->matches(src, bits)) {
+      ++found_;
+      MatchEntry hit = *it;
+      if (it->use_once) entries_.erase(it);
+      return hit;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+bool MatchList::unlink(std::uint64_t id) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->id == id) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rvma::portals

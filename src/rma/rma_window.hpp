@@ -1,0 +1,109 @@
+// MPI-style RMA windows over RVMA (paper §IV-E "Multi-Epoch RDMA" and
+// §IV-F "Fault Tolerant RDMA").
+//
+// An RmaWindow exposes, on every rank, a fixed-size memory region that
+// remote ranks access with put/get between fences. The mapping onto RVMA:
+//
+//  * each rank's window memory is a bucket of epoch buffers posted to one
+//    mailbox; the *current* epoch's buffer is the active one;
+//  * an access epoch closes with fence(): ranks exchange tiny op-count
+//    records (puts into a dedicated fence mailbox whose ops-threshold is
+//    the rank count), each target then waits — via the RVMA op counter,
+//    no NIC polling — until every expected operation has landed, and
+//    retires the epoch with inc_epoch;
+//  * retired epoch buffers stay in the mailbox's ring, so MPIX_Rewind
+//    (paper's sketch) is a direct read of the previous epoch's buffer.
+//
+// One RmaWindow object manages all ranks of the simulated job, mirroring
+// how the motif transports are structured.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/endpoint.hpp"
+
+namespace rvma::rma {
+
+class RmaWindow {
+ public:
+  struct Config {
+    std::uint64_t size = 0;       ///< window bytes per rank
+    int epochs_retained = 4;      ///< rewind ring depth
+    /// Start each new epoch as a copy of the previous epoch's contents
+    /// (MPI window semantics: memory persists across epochs).
+    bool copy_forward = true;
+  };
+
+  /// `endpoints[r]` is rank r's RVMA endpoint; `win_id` must be unique per
+  /// window across the job (it seeds the mailbox vaddrs).
+  RmaWindow(std::vector<core::RvmaEndpoint*> endpoints, std::uint64_t win_id,
+            const Config& config);
+
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  std::uint64_t size() const { return config_.size; }
+
+  /// Current epoch buffer of `rank` (valid until the next fence).
+  std::byte* data(int rank);
+  const std::byte* data(int rank) const;
+
+  /// Current epoch number (same on every rank between fences).
+  std::int64_t epoch() const { return epoch_; }
+
+  /// MPI_Put analog: one-sided write into `target`'s window.
+  Status put(int origin, int target, std::uint64_t target_offset,
+             const std::byte* src, std::uint64_t bytes);
+
+  /// MPI_Get analog: one-sided read from `target`'s window. Completes via
+  /// `done` (gets do not count toward the target's epoch).
+  Status get(int origin, int target, std::uint64_t target_offset,
+             std::byte* dst, std::uint64_t bytes, std::function<void()> done);
+
+  /// Collective fence: every rank participates; `on_rank_done(rank)` fires
+  /// as each rank's epoch closes (all expected ops landed + all peers'
+  /// fence records arrived). Call once per epoch, then engine.run().
+  void fence(std::function<void(int rank)> on_rank_done = {});
+
+  /// MPIX_Rewind (paper §IV-F): the window contents as they were
+  /// `epochs_back` completed epochs ago (1 = the last fenced epoch).
+  Status rewind(int rank, int epochs_back, const std::byte** buffer,
+                std::int64_t* bytes) const;
+
+  /// Ops this rank has issued to `target` in the current epoch.
+  std::int64_t pending_ops(int origin, int target) const;
+
+ private:
+  struct RankState {
+    core::RvmaEndpoint* ep = nullptr;
+    std::vector<std::vector<std::byte>> epoch_buffers;  // ring storage
+    int next_buffer = 0;
+    // Fence bookkeeping.
+    std::vector<std::int64_t> ops_to_target;   // per-target, this epoch
+    std::vector<std::int64_t> fence_records;   // recv area, one per origin
+    std::vector<std::vector<std::int64_t>> record_payloads;  // send staging
+    bool fence_msgs_done = false;
+    std::int64_t expected_ops = -1;            // -1 until records complete
+    std::int64_t ops_at_epoch_start = 0;
+    std::int64_t ops_seen = 0;
+    bool epoch_closed = false;
+    std::uint64_t gets_in_flight = 0;
+  };
+
+  std::uint64_t data_vaddr(int rank) const { return win_id_ + 2u * rank; }
+  std::uint64_t fence_vaddr(int rank) const { return win_id_ + 2u * rank + 1; }
+
+  void post_epoch_buffer(int rank, const std::byte* copy_from);
+  void try_close_epoch(int rank);
+
+  Config config_;
+  std::uint64_t win_id_;
+  std::vector<RankState> ranks_;
+  std::int64_t epoch_ = 0;
+  int fences_outstanding_ = 0;
+  std::function<void(int)> on_rank_done_;
+  std::uint64_t next_get_ = 0;  ///< allocates unique get-reply mailboxes
+};
+
+}  // namespace rvma::rma

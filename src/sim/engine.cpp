@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rvma::sim {
+
+void Engine::schedule_at(Time t, Callback fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the callback must be moved out
+  // before pop, so const_cast the owned element (safe: we pop immediately).
+  Event& top = const_cast<Event&>(queue_.top());
+  now_ = top.time;
+  Callback fn = std::move(top.fn);
+  queue_.pop();
+  ++executed_;
+  fn();
+  return true;
+}
+
+Time Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+  return now_;
+}
+
+Time Engine::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= deadline) {
+    step();
+  }
+  if (now_ < deadline && queue_.empty()) {
+    // Advance the clock even if nothing happened up to the deadline.
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace rvma::sim

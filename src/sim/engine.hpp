@@ -1,0 +1,74 @@
+// Discrete-event simulation engine.
+//
+// The whole reproduction rests on this: switches, NICs, protocol state
+// machines, and motifs all advance by scheduling callbacks at future
+// simulated times. Event execution order is fully deterministic — ties in
+// timestamp break by insertion sequence number — so identical configs and
+// seeds replay identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace rvma::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, Callback fn);
+
+  /// Schedule `fn` to run `delay` after now().
+  void schedule(Time delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the event queue drains or stop() is called.
+  /// Returns the time of the last executed event.
+  Time run();
+
+  /// Run until simulated time reaches `deadline` (events at exactly
+  /// `deadline` are executed). Remaining events stay queued.
+  Time run_until(Time deadline);
+
+  /// Execute at most one pending event. Returns false if queue was empty.
+  bool step();
+
+  /// Request run() to return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rvma::sim

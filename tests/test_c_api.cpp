@@ -1,0 +1,227 @@
+// Tests for the paper-style C API (rvma_c_api.h) over the simulated
+// endpoint: the exact call sequence from §III-C.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/endpoint.hpp"
+#include "core/rvma_c_api.h"
+
+namespace {
+
+using rvma::core::EpochType;
+using rvma::core::RvmaEndpoint;
+using rvma::core::RvmaParams;
+
+rvma::net::NetworkConfig star2() {
+  rvma::net::NetworkConfig cfg;
+  cfg.topology = rvma::net::TopologyKind::kStar;
+  cfg.nodes_hint = 2;
+  return cfg;
+}
+
+class CApiTest : public ::testing::Test {
+ protected:
+  CApiTest()
+      : cluster_(star2(), rvma::nic::NicParams{}),
+        sender_(cluster_.nic(0), RvmaParams{}),
+        receiver_(cluster_.nic(1), RvmaParams{}) {}
+
+  void TearDown() override { RVMA_Set_endpoint(nullptr); }
+
+  rvma::nic::Cluster cluster_;
+  RvmaEndpoint sender_;
+  RvmaEndpoint receiver_;
+};
+
+TEST_F(CApiTest, InitWindowRequiresEndpointAndThreshold) {
+  RVMA_Set_endpoint(nullptr);
+  EXPECT_EQ(RVMA_Init_window(reinterpret_cast<void*>(0x1), nullptr, 64,
+                             EPOCH_BYTES),
+            nullptr);
+  RVMA_Set_endpoint(&receiver_);
+  EXPECT_EQ(RVMA_Init_window(reinterpret_cast<void*>(0x1), nullptr, 0,
+                             EPOCH_BYTES),
+            nullptr);
+  RVMA_Win win = RVMA_Init_window(reinterpret_cast<void*>(0x1), nullptr, 64,
+                                  EPOCH_BYTES);
+  ASSERT_NE(win, nullptr);
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, FullPaperFlow) {
+  // Target: init window, post buffer with a notification cache line.
+  RVMA_Set_endpoint(&receiver_);
+  rvma_key_t key = 0;
+  void* vaddr = reinterpret_cast<void*>(0x11FF0011u);
+  RVMA_Win win = RVMA_Init_window(vaddr, &key, 64, EPOCH_BYTES);
+  ASSERT_NE(win, nullptr);
+  EXPECT_NE(key, 0u);
+
+  alignas(64) void* notif_line[8] = {};  // word 0: buf ptr, word 1: length
+  std::vector<unsigned char> buffer(64, 0);
+  ASSERT_EQ(RVMA_Post_buffer(buffer.data(), 64, &notif_line[0], win),
+            RVMA_SUCCESS);
+  EXPECT_EQ(RVMA_Win_get_epoch(win), 0);
+
+  // Initiator: put with no handshake, just node + virtual address.
+  RVMA_Set_endpoint(&sender_);
+  std::vector<unsigned char> payload(64, 0x7E);
+  rvma_addr_in dest{1};
+  ASSERT_EQ(RVMA_Put(payload.data(), 64, &dest, vaddr), RVMA_SUCCESS);
+  cluster_.engine().run();
+
+  // Completion: word 0 = buffer head, word 1 = received length.
+  EXPECT_EQ(notif_line[0], buffer.data());
+  EXPECT_EQ(reinterpret_cast<int64_t*>(notif_line)[1], 64);
+  EXPECT_EQ(buffer[0], 0x7E);
+  RVMA_Set_endpoint(&receiver_);
+  EXPECT_EQ(RVMA_Win_get_epoch(win), 1);
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, PostBufferValidatesArguments) {
+  RVMA_Set_endpoint(&receiver_);
+  RVMA_Win win = RVMA_Init_window(reinterpret_cast<void*>(0x2), nullptr, 64,
+                                  EPOCH_BYTES);
+  ASSERT_NE(win, nullptr);
+  unsigned char buf[64];
+  EXPECT_EQ(RVMA_Post_buffer(nullptr, 64, nullptr, win), RVMA_ERR_INVALID);
+  EXPECT_EQ(RVMA_Post_buffer(buf, 0, nullptr, win), RVMA_ERR_INVALID);
+  EXPECT_EQ(RVMA_Post_buffer(buf, 64, nullptr, nullptr), RVMA_ERR_INVALID);
+  EXPECT_EQ(RVMA_Post_buffer(buf, 64, nullptr, win), RVMA_SUCCESS);
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, CloseWindowStopsTraffic) {
+  RVMA_Set_endpoint(&receiver_);
+  void* vaddr = reinterpret_cast<void*>(0x3);
+  RVMA_Win win = RVMA_Init_window(vaddr, nullptr, 64, EPOCH_BYTES);
+  unsigned char buf[64];
+  ASSERT_EQ(RVMA_Post_buffer(buf, 64, nullptr, win), RVMA_SUCCESS);
+  ASSERT_EQ(RVMA_Close_Win(win), RVMA_SUCCESS);
+
+  RVMA_Set_endpoint(&sender_);
+  unsigned char payload[64] = {};
+  rvma_addr_in dest{1};
+  ASSERT_EQ(RVMA_Put(payload, 64, &dest, vaddr), RVMA_SUCCESS);
+  cluster_.engine().run();
+  EXPECT_EQ(receiver_.stats().drops_closed, 1u);
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, IncEpochAndGetBufPtrs) {
+  RVMA_Set_endpoint(&receiver_);
+  void* vaddr = reinterpret_cast<void*>(0x4);
+  RVMA_Win win = RVMA_Init_window(vaddr, nullptr, 1024, EPOCH_BYTES);
+  void* line_a[2] = {};
+  void* line_b[2] = {};
+  unsigned char buf_a[1024], buf_b[1024];
+  ASSERT_EQ(RVMA_Post_buffer(buf_a, 1024, &line_a[0], win), RVMA_SUCCESS);
+  ASSERT_EQ(RVMA_Post_buffer(buf_b, 1024, &line_b[0], win), RVMA_SUCCESS);
+
+  void* ptrs[4] = {};
+  EXPECT_EQ(RVMA_Win_get_buf_ptrs(win, ptrs, 4), 2);
+  EXPECT_EQ(ptrs[0], static_cast<void*>(&line_a[0]));
+
+  EXPECT_EQ(RVMA_Win_inc_epoch(win), RVMA_SUCCESS);
+  cluster_.engine().run();
+  EXPECT_EQ(RVMA_Win_get_epoch(win), 1);
+  EXPECT_EQ(line_a[0], static_cast<void*>(buf_a));
+  EXPECT_EQ(reinterpret_cast<int64_t*>(line_a)[1], 0);  // nothing arrived
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, RewindExtension) {
+  RVMA_Set_endpoint(&receiver_);
+  void* vaddr = reinterpret_cast<void*>(0x5);
+  RVMA_Win win = RVMA_Init_window(vaddr, nullptr, 32, EPOCH_BYTES);
+  unsigned char epoch0[32], epoch1[32];
+  ASSERT_EQ(RVMA_Post_buffer(epoch0, 32, nullptr, win), RVMA_SUCCESS);
+  ASSERT_EQ(RVMA_Post_buffer(epoch1, 32, nullptr, win), RVMA_SUCCESS);
+
+  RVMA_Set_endpoint(&sender_);
+  unsigned char payload[32] = {};
+  rvma_addr_in dest{1};
+  ASSERT_EQ(RVMA_Put(payload, 32, &dest, vaddr), RVMA_SUCCESS);
+  ASSERT_EQ(RVMA_Put(payload, 32, &dest, vaddr), RVMA_SUCCESS);
+  cluster_.engine().run();
+
+  void* old_buf = nullptr;
+  int64_t old_len = 0;
+  EXPECT_EQ(RVMA_Win_rewind(win, 1, &old_buf, &old_len), RVMA_SUCCESS);
+  EXPECT_EQ(old_buf, static_cast<void*>(epoch1));
+  EXPECT_EQ(old_len, 32);
+  EXPECT_EQ(RVMA_Win_rewind(win, 2, &old_buf, &old_len), RVMA_SUCCESS);
+  EXPECT_EQ(old_buf, static_cast<void*>(epoch0));
+  RVMA_Win_free(win);
+}
+
+TEST_F(CApiTest, GetFetchesIntoReplyMailbox) {
+  // Target side: a window holding data.
+  RVMA_Set_endpoint(&receiver_);
+  void* data_vaddr = reinterpret_cast<void*>(0x70);
+  RVMA_Win data_win = RVMA_Init_window(data_vaddr, nullptr, 1 << 20,
+                                       EPOCH_BYTES);
+  unsigned char remote[256];
+  for (int i = 0; i < 256; ++i) remote[i] = static_cast<unsigned char>(i);
+  ASSERT_EQ(RVMA_Post_buffer(remote, 256, nullptr, data_win), RVMA_SUCCESS);
+
+  // Requester side: reply mailbox, then the get.
+  RVMA_Set_endpoint(&sender_);
+  void* reply_vaddr = reinterpret_cast<void*>(0x71);
+  RVMA_Win reply_win = RVMA_Init_window(reply_vaddr, nullptr, 64, EPOCH_BYTES);
+  unsigned char reply[64] = {};
+  void* line[2] = {};
+  ASSERT_EQ(RVMA_Post_buffer(reply, 64, &line[0], reply_win), RVMA_SUCCESS);
+
+  rvma_addr_in src{1};
+  ASSERT_EQ(RVMA_Get(64, 100, &src, data_vaddr, reply_vaddr), RVMA_SUCCESS);
+  cluster_.engine().run();
+  EXPECT_EQ(line[0], static_cast<void*>(reply));
+  EXPECT_EQ(reply[0], 100);
+  EXPECT_EQ(reply[63], 163);
+  RVMA_Win_free(data_win);
+  RVMA_Win_free(reply_win);
+}
+
+TEST_F(CApiTest, CatchAllReceivesStrays) {
+  RVMA_Set_endpoint(&receiver_);
+  RVMA_Win catch_all = RVMA_Init_catch_all(32, EPOCH_BYTES);
+  ASSERT_NE(catch_all, nullptr);
+  unsigned char bucket[4096] = {};
+  ASSERT_EQ(RVMA_Post_buffer(bucket, 4096, nullptr, catch_all), RVMA_SUCCESS);
+
+  RVMA_Set_endpoint(&sender_);
+  unsigned char payload[32];
+  std::fill(payload, payload + 32, 0xEE);
+  rvma_addr_in dest{1};
+  ASSERT_EQ(RVMA_Put(payload, 32, &dest,
+                     reinterpret_cast<void*>(0xDEADBEEF)),
+            RVMA_SUCCESS);
+  cluster_.engine().run();
+  EXPECT_EQ(bucket[0], 0xEE);
+  EXPECT_EQ(receiver_.stats().catch_all_packets, 1u);
+  RVMA_Win_free(catch_all);
+}
+
+TEST_F(CApiTest, PutOffsetAssembles) {
+  RVMA_Set_endpoint(&receiver_);
+  void* vaddr = reinterpret_cast<void*>(0x6);
+  RVMA_Win win = RVMA_Init_window(vaddr, nullptr, 64, EPOCH_BYTES);
+  unsigned char buf[64] = {};
+  ASSERT_EQ(RVMA_Post_buffer(buf, 64, nullptr, win), RVMA_SUCCESS);
+
+  RVMA_Set_endpoint(&sender_);
+  unsigned char lo[32], hi[32];
+  std::fill(lo, lo + 32, 0x10);
+  std::fill(hi, hi + 32, 0x20);
+  rvma_addr_in dest{1};
+  ASSERT_EQ(RVMA_Put_offset(lo, 32, 0, &dest, vaddr), RVMA_SUCCESS);
+  ASSERT_EQ(RVMA_Put_offset(hi, 32, 32, &dest, vaddr), RVMA_SUCCESS);
+  cluster_.engine().run();
+  EXPECT_EQ(buf[0], 0x10);
+  EXPECT_EQ(buf[63], 0x20);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for src/common: units, RNG, statistics, table, CLI.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace rvma {
+namespace {
+
+TEST(Units, TimeConstants) {
+  EXPECT_EQ(kNanosecond, 1000u);
+  EXPECT_EQ(kMicrosecond, 1000u * kNanosecond);
+  EXPECT_EQ(kSecond, 1000u * kMillisecond);
+  EXPECT_EQ(ns(1.5), 1500u);
+  EXPECT_EQ(us(2.0), 2'000'000u);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_us(1'500'000), 1.5);
+  EXPECT_DOUBLE_EQ(to_ns(2'500), 2.5);
+}
+
+TEST(Units, BandwidthSerialize) {
+  // 100 Gbps = 12.5 GB/s: 1250 bytes take 100 ns.
+  const Bandwidth bw = Bandwidth::gbps(100);
+  EXPECT_EQ(bw.serialize(1250), 100 * kNanosecond);
+  // 2 Tbps: 1 KiB takes 4.096 ns.
+  EXPECT_EQ(Bandwidth::tbps(2).serialize(1024), static_cast<Time>(4096));
+}
+
+TEST(Units, BandwidthScaled) {
+  const Bandwidth bw = Bandwidth::gbps(100).scaled(1.5);
+  EXPECT_DOUBLE_EQ(bw.gbps_value(), 150.0);
+}
+
+TEST(Units, ZeroBandwidthSerializesInstantly) {
+  EXPECT_EQ(Bandwidth{}.serialize(1'000'000), 0u);
+}
+
+TEST(Units, Formatting) {
+  EXPECT_EQ(format_time(1500 * kNanosecond), "1.50 us");
+  EXPECT_EQ(format_size(4096), "4 KiB");
+  EXPECT_EQ(format_size(3), "3 B");
+  EXPECT_EQ(format_bandwidth(Bandwidth::tbps(2)), "2.00 Tbps");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  EXPECT_NE(parent(), child());
+}
+
+TEST(RunningStat, MeanVariance) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double v = i * 0.37;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Samples, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, MeanStd) {
+  Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Log2Histogram, Buckets) {
+  Log2Histogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(1024);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::bucket_of(0)), 1u);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::bucket_of(2)),
+            2u);  // 2 and 3 share a bucket
+  EXPECT_EQ(Log2Histogram::bucket_floor(Log2Histogram::bucket_of(1024)),
+            1024u);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"size", "latency"});
+  t.add_row({"2 B", "1.00"});
+  t.add_row({"4 MiB", "350.25"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("size"), std::string::npos);
+  EXPECT_NE(out.find("350.25"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=7", "--flag", "pos"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos");
+}
+
+TEST(Cli, UnconsumedDetectsTypos) {
+  const char* argv[] = {"prog", "--nodse=4"};
+  Cli cli(2, argv);
+  cli.get_int("nodes", 2);
+  const auto leftovers = cli.unconsumed();
+  ASSERT_EQ(leftovers.size(), 1u);
+  EXPECT_EQ(leftovers[0], "nodse");
+}
+
+TEST(Cli, DoubleAndBool) {
+  const char* argv[] = {"prog", "--x=2.5", "--on=true", "--off=0"};
+  Cli cli(4, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+  EXPECT_TRUE(cli.get_bool("on", false));
+  EXPECT_FALSE(cli.get_bool("off", true));
+}
+
+}  // namespace
+}  // namespace rvma

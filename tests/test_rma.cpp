@@ -1,0 +1,254 @@
+// Tests for the MPI-style RMA layer over RVMA (paper §IV-E/F): fence
+// epochs, put/get between fences, op-count completion without polling, and
+// MPIX_Rewind recovery.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "rma/rma_window.hpp"
+
+namespace rvma::rma {
+namespace {
+
+using core::RvmaEndpoint;
+using core::RvmaParams;
+
+class RmaTest : public ::testing::Test {
+ protected:
+  static constexpr int kRanks = 4;
+  static constexpr std::uint64_t kSize = 4096;
+
+  RmaTest() : cluster_(config(), nic::NicParams{}) {
+    for (int r = 0; r < kRanks; ++r) {
+      eps_.push_back(
+          std::make_unique<RvmaEndpoint>(cluster_.nic(r), RvmaParams{}));
+      raw_.push_back(eps_.back().get());
+    }
+    window_ = std::make_unique<RmaWindow>(raw_, 0x1000,
+                                          RmaWindow::Config{kSize, 4, true});
+  }
+
+  static net::NetworkConfig config() {
+    net::NetworkConfig cfg;
+    cfg.topology = net::TopologyKind::kStar;
+    cfg.nodes_hint = kRanks;
+    return cfg;
+  }
+
+  /// Collective fence + drain the engine; returns ranks completed.
+  int run_fence() {
+    int done = 0;
+    window_->fence([&](int) { ++done; });
+    cluster_.engine().run();
+    return done;
+  }
+
+  nic::Cluster cluster_;
+  std::vector<std::unique_ptr<RvmaEndpoint>> eps_;
+  std::vector<RvmaEndpoint*> raw_;
+  std::unique_ptr<RmaWindow> window_;
+};
+
+TEST_F(RmaTest, ConstructsWithZeroedWindows) {
+  EXPECT_EQ(window_->num_ranks(), kRanks);
+  EXPECT_EQ(window_->epoch(), 0);
+  for (int r = 0; r < kRanks; ++r) {
+    ASSERT_NE(window_->data(r), nullptr);
+    EXPECT_EQ(window_->data(r)[0], std::byte{0});
+  }
+}
+
+TEST_F(RmaTest, PutVisibleAfterFence) {
+  std::vector<std::byte> payload(256, std::byte{0x5A});
+  ASSERT_EQ(window_->put(0, 2, 128, payload.data(), payload.size()),
+            Status::kOk);
+  EXPECT_EQ(run_fence(), kRanks);
+  EXPECT_EQ(window_->epoch(), 1);
+  EXPECT_EQ(std::memcmp(window_->data(2) + 128, payload.data(), 256), 0);
+}
+
+TEST_F(RmaTest, EmptyFenceAdvancesEpoch) {
+  EXPECT_EQ(run_fence(), kRanks);
+  EXPECT_EQ(run_fence(), kRanks);
+  EXPECT_EQ(window_->epoch(), 2);
+}
+
+TEST_F(RmaTest, AllToAllPutsCompleteInOneFence) {
+  // Every rank writes its id into every other rank's slot.
+  std::vector<std::vector<std::byte>> payloads(kRanks);
+  for (int origin = 0; origin < kRanks; ++origin) {
+    payloads[origin].assign(64, static_cast<std::byte>(0x10 + origin));
+    for (int target = 0; target < kRanks; ++target) {
+      if (target == origin) continue;
+      ASSERT_EQ(window_->put(origin, target,
+                             static_cast<std::uint64_t>(origin) * 64,
+                             payloads[origin].data(), 64),
+                Status::kOk);
+    }
+  }
+  EXPECT_EQ(run_fence(), kRanks);
+  for (int target = 0; target < kRanks; ++target) {
+    for (int origin = 0; origin < kRanks; ++origin) {
+      if (target == origin) continue;
+      EXPECT_EQ(window_->data(target)[origin * 64],
+                static_cast<std::byte>(0x10 + origin))
+          << "target " << target << " origin " << origin;
+    }
+  }
+}
+
+TEST_F(RmaTest, CopyForwardPreservesContentsAcrossEpochs) {
+  std::vector<std::byte> payload(16, std::byte{0x77});
+  ASSERT_EQ(window_->put(1, 0, 0, payload.data(), 16), Status::kOk);
+  run_fence();
+  run_fence();  // an epoch with no traffic
+  EXPECT_EQ(window_->data(0)[0], std::byte{0x77});  // still visible
+}
+
+TEST_F(RmaTest, MultiEpochPutsLandInCurrentEpoch) {
+  for (int e = 0; e < 3; ++e) {
+    std::vector<std::byte> payload(8, static_cast<std::byte>(0x40 + e));
+    ASSERT_EQ(window_->put(0, 1, static_cast<std::uint64_t>(e) * 8,
+                           payload.data(), 8),
+              Status::kOk);
+    run_fence();
+  }
+  EXPECT_EQ(window_->epoch(), 3);
+  EXPECT_EQ(window_->data(1)[0], std::byte{0x40});
+  EXPECT_EQ(window_->data(1)[8], std::byte{0x41});
+  EXPECT_EQ(window_->data(1)[16], std::byte{0x42});
+}
+
+TEST_F(RmaTest, GetReadsRemoteWindow) {
+  std::vector<std::byte> payload(128);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i);
+  }
+  ASSERT_EQ(window_->put(0, 3, 256, payload.data(), 128), Status::kOk);
+  run_fence();
+
+  std::vector<std::byte> dst(128, std::byte{0});
+  bool done = false;
+  ASSERT_EQ(window_->get(1, 3, 256, dst.data(), 128, [&] { done = true; }),
+            Status::kOk);
+  cluster_.engine().run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(std::memcmp(dst.data(), payload.data(), 128), 0);
+}
+
+TEST_F(RmaTest, RewindRecoversPreviousEpochImage) {
+  for (int e = 0; e < 3; ++e) {
+    std::vector<std::byte> payload(kSize, static_cast<std::byte>(0x60 + e));
+    ASSERT_EQ(window_->put(0, 1, 0, payload.data(), kSize), Status::kOk);
+    run_fence();
+  }
+  // Current epoch shows the last write; rewind walks history.
+  EXPECT_EQ(window_->data(1)[0], std::byte{0x62});
+  const std::byte* buf = nullptr;
+  std::int64_t bytes = 0;
+  ASSERT_EQ(window_->rewind(1, 1, &buf, &bytes), Status::kOk);
+  EXPECT_EQ(bytes, static_cast<std::int64_t>(kSize));
+  EXPECT_EQ(buf[0], std::byte{0x62});  // epoch 2's image (just retired)
+  ASSERT_EQ(window_->rewind(1, 2, &buf, &bytes), Status::kOk);
+  EXPECT_EQ(buf[0], std::byte{0x61});
+  ASSERT_EQ(window_->rewind(1, 3, &buf, &bytes), Status::kOk);
+  EXPECT_EQ(buf[0], std::byte{0x60});
+}
+
+TEST_F(RmaTest, RewindAfterFailedEpochGivesConsistentState) {
+  // Epoch 0: a good state.
+  std::vector<std::byte> good(kSize, std::byte{0xAB});
+  ASSERT_EQ(window_->put(0, 1, 0, good.data(), kSize), Status::kOk);
+  run_fence();
+
+  // Epoch 1: a partial write lands (the writer then dies before fencing).
+  std::vector<std::byte> partial(kSize / 2, std::byte{0xEE});
+  ASSERT_EQ(window_->put(0, 1, 0, partial.data(), kSize / 2), Status::kOk);
+  cluster_.engine().run();  // data arrives, but no fence happens
+
+  // The current buffer is tainted; the previous epoch's image is intact.
+  const std::byte* buf = nullptr;
+  std::int64_t bytes = 0;
+  ASSERT_EQ(window_->rewind(1, 1, &buf, &bytes), Status::kOk);
+  for (std::uint64_t i = 0; i < kSize; ++i) {
+    ASSERT_EQ(buf[i], std::byte{0xAB}) << "offset " << i;
+  }
+}
+
+TEST_F(RmaTest, PutValidatesArguments) {
+  std::byte b{};
+  EXPECT_EQ(window_->put(-1, 0, 0, &b, 1), Status::kInvalidArg);
+  EXPECT_EQ(window_->put(0, kRanks, 0, &b, 1), Status::kInvalidArg);
+  EXPECT_EQ(window_->put(0, 1, kSize, &b, 1), Status::kOverflow);
+  EXPECT_EQ(window_->get(0, 1, kSize - 1, &b, 2, {}), Status::kOverflow);
+}
+
+TEST_F(RmaTest, PendingOpsTracksAndResets) {
+  std::vector<std::byte> payload(8, std::byte{1});
+  window_->put(0, 1, 0, payload.data(), 8);
+  window_->put(0, 1, 8, payload.data(), 8);
+  EXPECT_EQ(window_->pending_ops(0, 1), 2);
+  run_fence();
+  EXPECT_EQ(window_->pending_ops(0, 1), 0);
+}
+
+TEST(RmaSingleRank, FenceTriviallyCompletes) {
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kStar;
+  cfg.nodes_hint = 2;
+  nic::Cluster cluster(cfg, nic::NicParams{});
+  RvmaEndpoint ep(cluster.nic(0), RvmaParams{});
+  RmaWindow window({&ep}, 0x9000, RmaWindow::Config{1024, 2, true});
+  int done = 0;
+  window.fence([&](int) { ++done; });
+  cluster.engine().run();
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(window.epoch(), 1);
+}
+
+// Fences over an adaptively routed multi-hop network: op counts make the
+// epoch close correctly regardless of data/record arrival order.
+TEST(RmaAdaptive, FenceCorrectUnderAdaptiveRouting) {
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kDragonfly;
+  cfg.routing = net::Routing::kAdaptive;
+  cfg.df_p = 2;
+  cfg.df_a = 4;
+  cfg.df_h = 2;
+  nic::NicParams nic_params;
+  nic_params.mtu = 512;
+  nic::Cluster cluster(cfg, nic_params);
+
+  constexpr int kRanks = 8;
+  std::vector<std::unique_ptr<RvmaEndpoint>> eps;
+  std::vector<RvmaEndpoint*> raw;
+  for (int r = 0; r < kRanks; ++r) {
+    // Spread ranks across the machine (every 9th node).
+    eps.push_back(
+        std::make_unique<RvmaEndpoint>(cluster.nic(r * 9), RvmaParams{}));
+    raw.push_back(eps.back().get());
+  }
+  RmaWindow window(raw, 0x2000, RmaWindow::Config{8192, 2, true});
+
+  std::vector<std::vector<std::byte>> payloads(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    payloads[r].assign(2048, static_cast<std::byte>(r + 1));
+    window.put(r, (r + 1) % kRanks, 0, payloads[r].data(), 2048);
+    window.put(r, (r + 3) % kRanks, 2048, payloads[r].data(), 2048);
+  }
+  int done = 0;
+  window.fence([&](int) { ++done; });
+  cluster.engine().run();
+  EXPECT_EQ(done, kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const int from_a = (r + kRanks - 1) % kRanks;
+    const int from_b = (r + kRanks - 3) % kRanks;
+    EXPECT_EQ(window.data(r)[0], static_cast<std::byte>(from_a + 1));
+    EXPECT_EQ(window.data(r)[2048], static_cast<std::byte>(from_b + 1));
+  }
+}
+
+}  // namespace
+}  // namespace rvma::rma

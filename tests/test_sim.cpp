@@ -1,0 +1,124 @@
+// Unit tests for the discrete-event engine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace rvma::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, FifoTieBreakAtEqualTimes) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, RelativeSchedule) {
+  Engine e;
+  Time seen = 0;
+  e.schedule_at(50, [&] {
+    e.schedule(25, [&] { seen = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(Engine, EventsCanScheduleAtSameTime) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(10, [&] {
+    e.schedule(0, [&] { ++count; });
+    ++count;
+  });
+  e.run();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(20, [&] { ++fired; });
+  e.schedule_at(30, [&] { ++fired; });
+  e.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500u);
+}
+
+TEST(Engine, StopHaltsRun) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule_at(20, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, StepExecutesOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1, [&] { ++fired; });
+  e.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine e;
+  for (int i = 0; i < 17; ++i) e.schedule_at(i, [] {});
+  e.run();
+  EXPECT_EQ(e.executed_events(), 17u);
+}
+
+TEST(Engine, CascadedEventsLargeFanout) {
+  // A chain of events each spawning the next: exercises queue reuse.
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10000) e.schedule(1, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(depth, 10000);
+  EXPECT_EQ(e.now(), 9999u);
+}
+
+}  // namespace
+}  // namespace rvma::sim

@@ -1,0 +1,94 @@
+// Model validation tests (paper §V-B): the simulator must match the
+// analytic pipeline composition exactly, and obey LogGP-style asymptotics.
+#include <gtest/gtest.h>
+
+#include "perf/validation.hpp"
+
+namespace rvma::perf {
+namespace {
+
+class ValidationTest
+    : public ::testing::TestWithParam<std::tuple<Mode, std::uint64_t>> {};
+
+TEST_P(ValidationTest, SimulatorMatchesAnalyticModel) {
+  const auto [mode, bytes] = GetParam();
+  for (const SystemProfile& profile : {verbs_opa(), ucx_cx5()}) {
+    const Time predicted = predict_put_latency(profile, mode, bytes);
+    const Time simulated = measure_put_latency_exact(profile, mode, bytes);
+    // The analytic model IS the documented pipeline; the event-driven
+    // implementation must reproduce it to the picosecond.
+    EXPECT_EQ(simulated, predicted)
+        << profile.name << " " << to_string(mode) << " " << bytes << " B";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ValidationTest,
+    ::testing::Combine(::testing::Values(Mode::kRvma, Mode::kRdmaStatic,
+                                         Mode::kRdmaAdaptive),
+                       ::testing::Values(1ull, 64ull, 4096ull, 65536ull,
+                                         1ull << 20)),
+    [](const ::testing::TestParamInfo<std::tuple<Mode, std::uint64_t>>& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_" + std::to_string(std::get<1>(info.param)) + "B";
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Asymptotics, LargeTransfersApproachLineRate) {
+  const SystemProfile profile = verbs_opa();
+  // 64 MiB at 100 Gbps: serialization dominates all fixed overheads.
+  const double gbps =
+      effective_bandwidth_gbps(profile, Mode::kRvma, 64ull * MiB);
+  EXPECT_GT(gbps, 90.0);
+  EXPECT_LT(gbps, 100.0);  // headers + pipeline can't exceed line rate
+}
+
+TEST(Asymptotics, OverheadIsSizeIndependentForSmallMessages) {
+  const SystemProfile profile = ucx_cx5();
+  // For single-packet messages, latency(bytes) - ser(bytes) is constant.
+  const auto overhead = [&](std::uint64_t bytes) {
+    const Time lat = measure_put_latency_exact(profile, Mode::kRvma, bytes);
+    const std::uint64_t wire = bytes + profile.nic.header_bytes;
+    // Three serialization stages: injection, crossbar (1.5x), ejection.
+    const Time ser = profile.link.bw.serialize(wire) * 2 +
+                     profile.link.bw.scaled(1.5).serialize(wire);
+    return lat - ser;
+  };
+  const Time o1 = overhead(8);
+  const Time o2 = overhead(512);
+  const Time o3 = overhead(4000);
+  EXPECT_EQ(o1, o2);
+  EXPECT_EQ(o2, o3);
+}
+
+TEST(Asymptotics, AdaptivePenaltyIsSizeIndependent) {
+  // The spec-compliant completion adds a fixed cost: the gap between
+  // adaptive and static RDMA must not grow with message size.
+  const SystemProfile profile = verbs_opa();
+  const Time gap_small =
+      measure_put_latency_exact(profile, Mode::kRdmaAdaptive, 64) -
+      measure_put_latency_exact(profile, Mode::kRdmaStatic, 64);
+  const Time gap_large =
+      measure_put_latency_exact(profile, Mode::kRdmaAdaptive, 1 << 20) -
+      measure_put_latency_exact(profile, Mode::kRdmaStatic, 1 << 20);
+  EXPECT_EQ(gap_small, gap_large);
+}
+
+TEST(ValidationSweep, AllErrorsZero) {
+  const std::vector<std::uint64_t> sizes = {2, 128, 8192, 262144};
+  for (Mode mode :
+       {Mode::kRvma, Mode::kRdmaStatic, Mode::kRdmaAdaptive}) {
+    const auto rows = validate_mode(verbs_opa(), mode, sizes);
+    ASSERT_EQ(rows.size(), sizes.size());
+    for (const ValidationRow& row : rows) {
+      EXPECT_DOUBLE_EQ(row.error(), 0.0)
+          << to_string(mode) << " " << row.bytes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rvma::perf
