@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lut"
+  "../bench/ablation_lut.pdb"
+  "CMakeFiles/ablation_lut.dir/ablation_lut.cpp.o"
+  "CMakeFiles/ablation_lut.dir/ablation_lut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pcie"
+  "../bench/ablation_pcie.pdb"
+  "CMakeFiles/ablation_pcie.dir/ablation_pcie.cpp.o"
+  "CMakeFiles/ablation_pcie.dir/ablation_pcie.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rdma_slots"
+  "../bench/ablation_rdma_slots.pdb"
+  "CMakeFiles/ablation_rdma_slots.dir/ablation_rdma_slots.cpp.o"
+  "CMakeFiles/ablation_rdma_slots.dir/ablation_rdma_slots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rdma_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

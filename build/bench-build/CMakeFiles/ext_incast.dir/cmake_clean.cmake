@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_incast"
+  "../bench/ext_incast.pdb"
+  "CMakeFiles/ext_incast.dir/ext_incast.cpp.o"
+  "CMakeFiles/ext_incast.dir/ext_incast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_verbs_latency"
+  "../bench/fig4_verbs_latency.pdb"
+  "CMakeFiles/fig4_verbs_latency.dir/fig4_verbs_latency.cpp.o"
+  "CMakeFiles/fig4_verbs_latency.dir/fig4_verbs_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_verbs_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ucx_latency"
+  "../bench/fig5_ucx_latency.pdb"
+  "CMakeFiles/fig5_ucx_latency.dir/fig5_ucx_latency.cpp.o"
+  "CMakeFiles/fig5_ucx_latency.dir/fig5_ucx_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ucx_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ucx_amortization"
+  "../bench/fig6_ucx_amortization.pdb"
+  "CMakeFiles/fig6_ucx_amortization.dir/fig6_ucx_amortization.cpp.o"
+  "CMakeFiles/fig6_ucx_amortization.dir/fig6_ucx_amortization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ucx_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

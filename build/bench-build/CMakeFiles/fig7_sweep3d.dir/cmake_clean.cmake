@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_sweep3d"
+  "../bench/fig7_sweep3d.pdb"
+  "CMakeFiles/fig7_sweep3d.dir/fig7_sweep3d.cpp.o"
+  "CMakeFiles/fig7_sweep3d.dir/fig7_sweep3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sweep3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_halo3d"
+  "../bench/fig8_halo3d.pdb"
+  "CMakeFiles/fig8_halo3d.dir/fig8_halo3d.cpp.o"
+  "CMakeFiles/fig8_halo3d.dir/fig8_halo3d.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_halo3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_server.dir/incast_server.cpp.o"
+  "CMakeFiles/incast_server.dir/incast_server.cpp.o.d"
+  "incast_server"
+  "incast_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rma_stencil.dir/rma_stencil.cpp.o"
+  "CMakeFiles/rma_stencil.dir/rma_stencil.cpp.o.d"
+  "rma_stencil"
+  "rma_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rma_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sockets_kv.dir/sockets_kv.cpp.o"
+  "CMakeFiles/sockets_kv.dir/sockets_kv.cpp.o.d"
+  "sockets_kv"
+  "sockets_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sockets_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_common.dir/cli.cpp.o"
+  "CMakeFiles/rvma_common.dir/cli.cpp.o.d"
+  "CMakeFiles/rvma_common.dir/log.cpp.o"
+  "CMakeFiles/rvma_common.dir/log.cpp.o.d"
+  "CMakeFiles/rvma_common.dir/table.cpp.o"
+  "CMakeFiles/rvma_common.dir/table.cpp.o.d"
+  "CMakeFiles/rvma_common.dir/trace.cpp.o"
+  "CMakeFiles/rvma_common.dir/trace.cpp.o.d"
+  "CMakeFiles/rvma_common.dir/units.cpp.o"
+  "CMakeFiles/rvma_common.dir/units.cpp.o.d"
+  "librvma_common.a"
+  "librvma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_core.dir/endpoint.cpp.o"
+  "CMakeFiles/rvma_core.dir/endpoint.cpp.o.d"
+  "CMakeFiles/rvma_core.dir/mailbox.cpp.o"
+  "CMakeFiles/rvma_core.dir/mailbox.cpp.o.d"
+  "CMakeFiles/rvma_core.dir/rvma_c_api.cpp.o"
+  "CMakeFiles/rvma_core.dir/rvma_c_api.cpp.o.d"
+  "librvma_core.a"
+  "librvma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

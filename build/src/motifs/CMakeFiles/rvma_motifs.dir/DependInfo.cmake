@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/motifs/collectives.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/collectives.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/collectives.cpp.o.d"
+  "/root/repo/src/motifs/halo3d.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/halo3d.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/halo3d.cpp.o.d"
+  "/root/repo/src/motifs/incast.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/incast.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/incast.cpp.o.d"
+  "/root/repo/src/motifs/rdma_transport.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/rdma_transport.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/rdma_transport.cpp.o.d"
+  "/root/repo/src/motifs/runner.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/runner.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/runner.cpp.o.d"
+  "/root/repo/src/motifs/rvma_transport.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/rvma_transport.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/rvma_transport.cpp.o.d"
+  "/root/repo/src/motifs/sweep3d.cpp" "src/motifs/CMakeFiles/rvma_motifs.dir/sweep3d.cpp.o" "gcc" "src/motifs/CMakeFiles/rvma_motifs.dir/sweep3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rvma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rvma_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/rvma_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rvma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_motifs.dir/collectives.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/collectives.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/halo3d.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/halo3d.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/incast.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/incast.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/rdma_transport.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/rdma_transport.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/runner.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/runner.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/rvma_transport.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/rvma_transport.cpp.o.d"
+  "CMakeFiles/rvma_motifs.dir/sweep3d.cpp.o"
+  "CMakeFiles/rvma_motifs.dir/sweep3d.cpp.o.d"
+  "librvma_motifs.a"
+  "librvma_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/dragonfly.cpp" "src/net/CMakeFiles/rvma_net.dir/dragonfly.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/dragonfly.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/rvma_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/fattree.cpp" "src/net/CMakeFiles/rvma_net.dir/fattree.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/fattree.cpp.o.d"
+  "/root/repo/src/net/hyperx.cpp" "src/net/CMakeFiles/rvma_net.dir/hyperx.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/hyperx.cpp.o.d"
+  "/root/repo/src/net/star.cpp" "src/net/CMakeFiles/rvma_net.dir/star.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/star.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/rvma_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/torus.cpp" "src/net/CMakeFiles/rvma_net.dir/torus.cpp.o" "gcc" "src/net/CMakeFiles/rvma_net.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rvma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_net.dir/dragonfly.cpp.o"
+  "CMakeFiles/rvma_net.dir/dragonfly.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/fabric.cpp.o"
+  "CMakeFiles/rvma_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/fattree.cpp.o"
+  "CMakeFiles/rvma_net.dir/fattree.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/hyperx.cpp.o"
+  "CMakeFiles/rvma_net.dir/hyperx.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/star.cpp.o"
+  "CMakeFiles/rvma_net.dir/star.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/topology.cpp.o"
+  "CMakeFiles/rvma_net.dir/topology.cpp.o.d"
+  "CMakeFiles/rvma_net.dir/torus.cpp.o"
+  "CMakeFiles/rvma_net.dir/torus.cpp.o.d"
+  "librvma_net.a"
+  "librvma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

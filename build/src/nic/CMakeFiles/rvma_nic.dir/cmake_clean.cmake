@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_nic.dir/nic.cpp.o"
+  "CMakeFiles/rvma_nic.dir/nic.cpp.o.d"
+  "librvma_nic.a"
+  "librvma_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

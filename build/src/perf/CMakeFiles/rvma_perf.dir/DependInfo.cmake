@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/latency.cpp" "src/perf/CMakeFiles/rvma_perf.dir/latency.cpp.o" "gcc" "src/perf/CMakeFiles/rvma_perf.dir/latency.cpp.o.d"
+  "/root/repo/src/perf/profiles.cpp" "src/perf/CMakeFiles/rvma_perf.dir/profiles.cpp.o" "gcc" "src/perf/CMakeFiles/rvma_perf.dir/profiles.cpp.o.d"
+  "/root/repo/src/perf/validation.cpp" "src/perf/CMakeFiles/rvma_perf.dir/validation.cpp.o" "gcc" "src/perf/CMakeFiles/rvma_perf.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rvma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rvma_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/rvma_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rvma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

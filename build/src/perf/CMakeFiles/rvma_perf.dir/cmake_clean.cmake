@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_perf.dir/latency.cpp.o"
+  "CMakeFiles/rvma_perf.dir/latency.cpp.o.d"
+  "CMakeFiles/rvma_perf.dir/profiles.cpp.o"
+  "CMakeFiles/rvma_perf.dir/profiles.cpp.o.d"
+  "CMakeFiles/rvma_perf.dir/validation.cpp.o"
+  "CMakeFiles/rvma_perf.dir/validation.cpp.o.d"
+  "librvma_perf.a"
+  "librvma_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_portals.dir/match_list.cpp.o"
+  "CMakeFiles/rvma_portals.dir/match_list.cpp.o.d"
+  "librvma_portals.a"
+  "librvma_portals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librvma_portals.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_rdma.dir/rdma.cpp.o"
+  "CMakeFiles/rvma_rdma.dir/rdma.cpp.o.d"
+  "librvma_rdma.a"
+  "librvma_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

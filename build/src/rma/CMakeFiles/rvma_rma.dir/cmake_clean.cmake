@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_rma.dir/rma_window.cpp.o"
+  "CMakeFiles/rvma_rma.dir/rma_window.cpp.o.d"
+  "librvma_rma.a"
+  "librvma_rma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_rma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_sim.dir/engine.cpp.o"
+  "CMakeFiles/rvma_sim.dir/engine.cpp.o.d"
+  "librvma_sim.a"
+  "librvma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rvma_sockets.dir/socket_stack.cpp.o"
+  "CMakeFiles/rvma_sockets.dir/socket_stack.cpp.o.d"
+  "librvma_sockets.a"
+  "librvma_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rvma_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

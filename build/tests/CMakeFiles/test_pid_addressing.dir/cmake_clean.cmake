@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pid_addressing.dir/test_pid_addressing.cpp.o"
+  "CMakeFiles/test_pid_addressing.dir/test_pid_addressing.cpp.o.d"
+  "test_pid_addressing"
+  "test_pid_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pid_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_portals.cpp" "tests/CMakeFiles/test_portals.dir/test_portals.cpp.o" "gcc" "tests/CMakeFiles/test_portals.dir/test_portals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/rvma_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/motifs/CMakeFiles/rvma_motifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rma/CMakeFiles/rvma_rma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sockets/CMakeFiles/rvma_sockets.dir/DependInfo.cmake"
+  "/root/repo/build/src/portals/CMakeFiles/rvma_portals.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rvma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/rvma_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/rvma_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rvma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rvma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rvma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_portals.dir/test_portals.cpp.o"
+  "CMakeFiles/test_portals.dir/test_portals.cpp.o.d"
+  "test_portals"
+  "test_portals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_portals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rvma_endpoint.dir/test_rvma_endpoint.cpp.o"
+  "CMakeFiles/test_rvma_endpoint.dir/test_rvma_endpoint.cpp.o.d"
+  "test_rvma_endpoint"
+  "test_rvma_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rvma_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

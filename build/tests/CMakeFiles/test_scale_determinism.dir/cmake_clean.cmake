@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_determinism.dir/test_scale_determinism.cpp.o"
+  "CMakeFiles/test_scale_determinism.dir/test_scale_determinism.cpp.o.d"
+  "test_scale_determinism"
+  "test_scale_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
