@@ -5,6 +5,8 @@
 // benches can simulate per wall-second).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "sim/engine.hpp"
 
 using rvma::sim::Engine;

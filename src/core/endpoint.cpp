@@ -409,6 +409,9 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
 }
 
 void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
+  // A completion can race a mailbox drained by free/close paths; an empty
+  // bucket means there is nothing to retire.
+  if (!mb.has_active()) return;
   PostedBuffer& buf = mb.active();
   if (buf.counter_on_nic) counters_.release();
 
@@ -418,7 +421,7 @@ void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
   const auto len = static_cast<std::int64_t>(buf.bytes_received);
   const std::uint64_t vaddr = mb.vaddr();
 
-  mb.retire_active(soft);
+  mb.retire_active(soft);  // non-empty: checked above, cannot fail
   if (soft) {
     ++stats_.soft_completions;
   } else {

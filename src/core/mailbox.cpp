@@ -5,11 +5,25 @@ namespace rvma::core {
 Status Mailbox::post(PostedBuffer buf) {
   if (closed_) return Status::kClosed;
   if (buf.size == 0) return Status::kInvalidArg;
-  if (buf.threshold <= 0) {
+  // 0 is the "unset" descriptor default; a negative count is a caller bug.
+  if (buf.threshold < 0) return Status::kInvalidArg;
+  if (buf.threshold == 0) {
+    // Defaults path: inherit the window threshold. A caller-specified epoch
+    // type is only consistent here if it matches the window's — the default
+    // threshold is counted in the window's units — so reject mismatches
+    // instead of silently overwriting the caller's choice.
+    if (buf.type != EpochType::kInherit && buf.type != type_) {
+      return Status::kInvalidArg;
+    }
     buf.threshold = threshold_;
     buf.type = type_;
+    if (buf.threshold <= 0) return Status::kInvalidArg;  // window has no default
+  } else if (buf.type == EpochType::kInherit) {
+    // Explicit threshold, inherited units.
+    buf.type = type_;
   }
-  if (buf.threshold <= 0) return Status::kInvalidArg;
+  // A window misconfigured with kInherit can never resolve a concrete type.
+  if (buf.type == EpochType::kInherit) return Status::kInvalidArg;
   buf.bytes_received = 0;
   buf.ops_received = 0;
   buf.write_cursor = 0;
@@ -17,7 +31,8 @@ Status Mailbox::post(PostedBuffer buf) {
   return Status::kOk;
 }
 
-RetiredBuffer Mailbox::retire_active(bool soft) {
+std::optional<RetiredBuffer> Mailbox::retire_active(bool soft) {
+  if (queue_.empty()) return std::nullopt;
   PostedBuffer& buf = queue_.front();
   RetiredBuffer retired{buf.base, buf.size, buf.bytes_received, epoch_, soft};
   queue_.pop_front();

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -26,8 +27,12 @@ struct PostedBuffer {
   void** notif_ptr = nullptr;  ///< completion pointer location (may be null)
   std::int64_t* len_ptr = nullptr;  ///< completed-length location
 
+  /// 0 means "inherit the window's default threshold" at post time;
+  /// negative values are rejected as kInvalidArg.
   std::int64_t threshold = 0;
-  EpochType type = EpochType::kBytes;
+  /// kInherit means "use the window's epoch type" at post time; a buffer
+  /// that reached a mailbox always carries a concrete kBytes/kOps.
+  EpochType type = EpochType::kInherit;
 
   std::uint64_t bytes_received = 0;
   std::int64_t ops_received = 0;
@@ -105,13 +110,23 @@ class Mailbox {
   const PostedBuffer& active() const { return queue_.front(); }
   std::size_t posted_count() const { return queue_.size(); }
 
-  /// Append a buffer to the bucket. The buffer inherits the window's
-  /// threshold/type unless `buf.threshold` is already set (> 0).
+  /// Append a buffer to the bucket.
+  ///
+  /// Defaults path: `buf.threshold == 0` inherits the window's default
+  /// threshold and `buf.type == kInherit` inherits the window's epoch type;
+  /// negative thresholds are rejected outright.
+  /// Validation path: a caller-specified type is preserved, but a post that
+  /// asks for the default threshold while naming a type different from the
+  /// window's is inconsistent (the default threshold is counted in the
+  /// window's units) and is rejected with kInvalidArg, never silently
+  /// rewritten.
   Status post(PostedBuffer buf);
 
   /// Retire the active buffer (threshold reached or inc_epoch), advance the
-  /// epoch, and surface the next posted buffer. Returns the retired entry.
-  RetiredBuffer retire_active(bool soft);
+  /// epoch, and surface the next posted buffer. Returns the retired entry,
+  /// or nullopt — without touching any state — if no buffer is posted
+  /// (a completion racing an already-drained mailbox).
+  std::optional<RetiredBuffer> retire_active(bool soft);
 
   /// Retrieve the buffer completed `epochs_back` epochs ago (1 = most
   /// recently completed). Fails if the retire ring no longer holds it.

@@ -8,8 +8,10 @@
 namespace rvma::core {
 
 /// How the NIC interprets a window's epoch threshold (paper §III-C):
-/// a count of bytes written, or of completed put operations.
-enum class EpochType { kBytes, kOps };
+/// a count of bytes written, or of completed put operations. `kInherit` is
+/// only meaningful on a PostedBuffer handed to Mailbox::post: it means "use
+/// the window's configured type" and never survives a successful post.
+enum class EpochType { kBytes, kOps, kInherit };
 
 /// How incoming payload is placed into the active buffer (paper §IV-B):
 ///  * kSteered  — initiator-supplied offsets; packets land wherever their

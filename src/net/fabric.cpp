@@ -105,6 +105,65 @@ void Fabric::inject(Packet&& pkt) {
   });
 }
 
+void Fabric::inject_burst(std::vector<Packet>&& pkts) {
+  assert(!pkts.empty());
+  const NodeId src = pkts.front().src;
+  const NodeId dst = pkts.front().dst;
+  assert(src >= 0 && src < static_cast<NodeId>(node_attach_.size()));
+  assert(dst >= 0 && dst < static_cast<NodeId>(node_attach_.size()));
+  if (node_attach_[src].failed || node_attach_[dst].failed) {
+    stats_.packets_dropped_dead_node += pkts.size();
+    return;
+  }
+
+  NodeAttach& at = node_attach_[src];
+  Port& inj = at.injection;
+  auto burst = std::make_unique<Burst>();
+  burst->sw = at.sw;
+  burst->arrivals.reserve(pkts.size());
+  // Charge the injection link for the whole message now: backlog-based
+  // admission and the per-packet arrival times are exactly what N eager
+  // inject() calls at this instant would have produced.
+  for (Packet& pkt : pkts) {
+    ++stats_.packets_injected;
+    pkt.injected_at = engine_.now();
+    trace_event(engine_.now(), "pkt_inject",
+                {{"src", pkt.src},
+                 {"dst", pkt.dst},
+                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+                 {"seq", pkt.seq},
+                 {"bytes", pkt.bytes}});
+    const std::uint64_t wire = pkt.wire_bytes();
+    const Time start = std::max(engine_.now(), inj.busy_until);
+    const Time finish = start + inj.link.bw.serialize(wire);
+    inj.busy_until = finish;
+    burst->arrivals.push_back(finish + inj.link.latency);
+  }
+  burst->pkts = std::move(pkts);
+  burst->seq_base = engine_.reserve_sequence(burst->pkts.size());
+  const Time first_arrival = burst->arrivals.front();
+  const std::uint64_t first_seq = burst->seq_base;
+  engine_.schedule_at_seq(first_arrival, first_seq,
+                          [this, b = std::move(burst)]() mutable {
+                            burst_step(std::move(b));
+                          });
+}
+
+void Fabric::burst_step(std::unique_ptr<Burst> burst) {
+  const std::size_t i = burst->next++;
+  const int sw = burst->sw;
+  Packet pkt = std::move(burst->pkts[i]);
+  if (burst->next < burst->pkts.size()) {
+    const Time arrival = burst->arrivals[burst->next];
+    const std::uint64_t seq = burst->seq_base + burst->next;
+    engine_.schedule_at_seq(arrival, seq,
+                            [this, b = std::move(burst)]() mutable {
+                              burst_step(std::move(b));
+                            });
+  }
+  arrive_at_switch(sw, std::move(pkt));
+}
+
 void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   ++pkt.hops;
   Switch& s = switches_[sw];

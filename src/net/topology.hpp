@@ -82,6 +82,10 @@ class Network {
     fabric_.set_delivery(node, std::move(fn));
   }
   void inject(Packet&& pkt) { fabric_.inject(std::move(pkt)); }
+  /// Batched injection of one message's packets (see Fabric::inject_burst).
+  void inject_burst(std::vector<Packet>&& pkts) {
+    fabric_.inject_burst(std::move(pkts));
+  }
 
  private:
   NetworkConfig config_;

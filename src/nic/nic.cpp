@@ -63,53 +63,65 @@ void Nic::drain_tx_queue() {
 }
 
 void Nic::inject_message(Message msg, SendDone on_sent) {
-  {
-    auto shared = std::make_shared<const Message>(std::move(msg));
-    const std::uint64_t bytes = shared->bytes;
-    const std::uint32_t total = bytes == 0
-        ? 1
-        : static_cast<std::uint32_t>((bytes + params_.mtu - 1) / params_.mtu);
-    std::uint64_t offset = 0;
-    for (std::uint32_t seq = 0; seq < total; ++seq) {
-      Packet pkt;
-      pkt.src = shared->src;
-      pkt.dst = shared->dst;
-      pkt.msg = shared;
-      pkt.offset = offset;
-      pkt.bytes = static_cast<std::uint32_t>(
-          std::min<std::uint64_t>(params_.mtu, bytes - offset));
-      pkt.header_bytes = params_.header_bytes;
-      pkt.seq = seq;
-      pkt.total = total;
-      offset += pkt.bytes;
+  auto shared = std::make_shared<const Message>(std::move(msg));
+  const std::uint64_t bytes = shared->bytes;
+  const std::uint32_t total = bytes == 0
+      ? 1
+      : static_cast<std::uint32_t>((bytes + params_.mtu - 1) / params_.mtu);
+  std::uint64_t offset = 0;
+  std::vector<Packet> burst;
+  if (total > 1) burst.reserve(total);
+  for (std::uint32_t seq = 0; seq < total; ++seq) {
+    Packet pkt;
+    pkt.src = shared->src;
+    pkt.dst = shared->dst;
+    pkt.msg = shared;
+    pkt.offset = offset;
+    pkt.bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(params_.mtu, bytes - offset));
+    pkt.header_bytes = params_.header_bytes;
+    pkt.seq = seq;
+    pkt.total = total;
+    offset += pkt.bytes;
+    if (total == 1) {
       network_.inject(std::move(pkt));
+    } else {
+      burst.push_back(std::move(pkt));
     }
-    if (on_sent) on_sent();
   }
+  // Multi-packet messages go down as one batch: the fabric charges the
+  // injection link for every packet up front (so backlog/admission see the
+  // whole message, as before) but keeps a single chained engine event in
+  // flight instead of one queued arrival per packet.
+  if (total > 1) network_.inject_burst(std::move(burst));
+  if (on_sent) on_sent();
 }
 
 void Nic::register_proto(std::uint32_t proto, PacketHandler handler,
                          net::Pid pid) {
   assert(proto < kMaxProto);
-  handlers_[(proto << 16) | pid] = std::move(handler);
+  std::vector<PacketHandler>& table = dispatch_[proto];
+  if (pid >= table.size()) table.resize(std::size_t{pid} + 1);
+  table[pid] = std::move(handler);
 }
 
 void Nic::handle_delivery(Packet&& pkt) {
   ++packets_received_;
   const std::uint32_t proto = net::proto_of(pkt.msg->hdr.kind);
-  const std::uint32_t key = (proto << 16) | pkt.msg->hdr.dst_pid;
-  if (!handlers_.contains(key)) {
+  const net::Pid pid = pkt.msg->hdr.dst_pid;
+  if (proto >= kMaxProto || pid >= dispatch_[proto].size() ||
+      !dispatch_[proto][pid]) {
     // A remote peer targeted a protocol/process this node does not run —
     // a network-visible condition, not a local bug: drop.
     ++packets_dropped_no_handler_;
     RVMA_LOG_WARN("nic %d: dropping packet for proto %u pid %u", node_,
-                  proto, pkt.msg->hdr.dst_pid);
+                  proto, pid);
     return;
   }
   // Receive pipeline: fixed per-packet processing before the protocol
   // engine (lookup, placement, counting) sees it.
-  engine_.schedule(params_.rx_proc, [this, key, pkt = std::move(pkt)]() {
-    handlers_[key](pkt);
+  engine_.schedule(params_.rx_proc, [this, proto, pid, pkt = std::move(pkt)]() {
+    dispatch_[proto][pid](pkt);
   });
 }
 

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <array>
-#include <unordered_map>
-#include <deque>
-#include <utility>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
@@ -82,8 +82,10 @@ class Nic {
   net::Network& network_;
   NodeId node_;
   NicParams params_;
-  // Dispatch key: (proto << 16) | pid.
-  std::unordered_map<std::uint32_t, PacketHandler> handlers_;
+  // Flat dense dispatch: dispatch_[proto][pid]. Registration is cold and
+  // sizes the per-proto vector to the largest pid seen; delivery is two
+  // bounds checks and two indexed loads — no hashing on the per-packet path.
+  std::array<std::vector<PacketHandler>, kMaxProto> dispatch_;
   std::uint64_t next_msg_seq_ = 1;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t packets_received_ = 0;

@@ -5,21 +5,43 @@
 
 namespace rvma::sim {
 
-void Engine::schedule_at(Time t, Callback fn) {
-  assert(t >= now_ && "cannot schedule events in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Engine::HeapEntry Engine::heap_pop() {
+  const HeapEntry top = heap_.front();
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    // Sift `last` down from the root.
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns const&; the callback must be moved out
-  // before pop, so const_cast the owned element (safe: we pop immediately).
-  Event& top = const_cast<Event&>(queue_.top());
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_pop();
   now_ = top.time;
-  Callback fn = std::move(top.fn);
-  queue_.pop();
   ++executed_;
-  fn();
+  Slot& s = slot(top.slot);
+  // Invoke in place: slot pages never move, so callbacks scheduled during
+  // fn() (which may grow the pool) cannot invalidate the running callable.
+  // The slot is released only after fn() returns, so a nested schedule can
+  // never reuse the storage of the callback currently executing.
+  s.fn.invoke_and_reset();
+  release_slot(top.slot);
   return true;
 }
 
@@ -32,11 +54,14 @@ Time Engine::run() {
 
 Time Engine::run_until(Time deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= deadline) {
+  while (!stopped_ && !heap_.empty() && heap_.front().time <= deadline) {
     step();
   }
-  if (now_ < deadline && queue_.empty()) {
-    // Advance the clock even if nothing happened up to the deadline.
+  // Advance the clock to the deadline unconditionally (unless stopped):
+  // callers treat run_until as "simulate this span", so relative schedules
+  // issued afterwards must be anchored at the deadline even when events
+  // remain queued beyond it.
+  if (!stopped_ && now_ < deadline) {
     now_ = deadline;
   }
   return now_;

@@ -3,22 +3,29 @@
 // The whole reproduction rests on this: switches, NICs, protocol state
 // machines, and motifs all advance by scheduling callbacks at future
 // simulated times. Event execution order is fully deterministic — ties in
-// timestamp break by insertion sequence number — so identical configs and
-// seeds replay identically.
+// timestamp break by sequence number, assigned at schedule (or reservation)
+// time — so identical configs and seeds replay identically.
+//
+// Hot-path layout (see DESIGN.md "Hot path & allocation discipline"):
+// the priority queue holds 24-byte POD entries {time, seq, slot}; the
+// callbacks themselves live in page-stable slots threaded on an intrusive
+// free list. Sift operations move only PODs, callbacks are invoked in
+// place, and steady-state scheduling performs zero heap allocations.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/callback.hpp"
 
 namespace rvma::sim {
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -28,17 +35,51 @@ class Engine {
   Time now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `t` (must be >= now()).
-  void schedule_at(Time t, Callback fn);
+  /// Templated so the callable is constructed directly in its event slot —
+  /// no intermediate Callback move of the capture bytes.
+  template <typename F>
+  void schedule_at(Time t, F&& fn) {
+    schedule_at_seq(t, next_seq_++, std::forward<F>(fn));
+  }
 
   /// Schedule `fn` to run `delay` after now().
-  void schedule(Time delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <typename F>
+  void schedule(Time delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Reserve `count` consecutive sequence numbers and return the first.
+  /// Lets a caller that will schedule events lazily (e.g. the fabric's
+  /// chained packet bursts) pin their tie-break order now, so execution
+  /// order is identical to scheduling them all eagerly.
+  std::uint64_t reserve_sequence(std::uint64_t count) {
+    const std::uint64_t first = next_seq_;
+    next_seq_ += count;
+    return first;
+  }
+
+  /// Schedule `fn` at time `t` with an explicitly reserved sequence number
+  /// (from reserve_sequence). Each reserved number must be used at most
+  /// once; ties at equal `t` execute in sequence-number order.
+  template <typename F>
+  void schedule_at_seq(Time t, std::uint64_t seq, F&& fn) {
+    assert(t >= now_ && "cannot schedule events in the past");
+    assert(seq < next_seq_ && "sequence number was never reserved");
+    const std::uint32_t idx = acquire_slot();
+    slot(idx).fn.emplace(std::forward<F>(fn));
+    heap_push(HeapEntry{t, seq, idx});
+  }
 
   /// Run until the event queue drains or stop() is called.
   /// Returns the time of the last executed event.
   Time run();
 
-  /// Run until simulated time reaches `deadline` (events at exactly
-  /// `deadline` are executed). Remaining events stay queued.
+  /// Run until simulated time reaches `deadline`: events at times
+  /// <= `deadline` (inclusive) are executed, later events stay queued.
+  /// Contract: unless stop() fired, now() == max(now, deadline) on return
+  /// — the clock advances to the deadline even with pending future events,
+  /// so subsequent relative schedule(delay, ...) calls are anchored at the
+  /// deadline, never before it.
   Time run_until(Time deadline);
 
   /// Execute at most one pending event. Returns false if queue was empty.
@@ -47,24 +88,82 @@ class Engine {
   /// Request run() to return after the current event completes.
   void stop() { stopped_ = true; }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pending() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  /// Priority-queue entry: plain data only, so heap sifts are cheap moves.
+  struct HeapEntry {
     Time time;
-    std::uint64_t seq;  // FIFO tie-break for equal timestamps
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint64_t seq;   ///< FIFO tie-break for equal timestamps
+    std::uint32_t slot;  ///< index into the callback slot pages
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlotsPerPage = 256;
+
+  /// Callback storage cell; `next_free` threads the intrusive free list
+  /// through slots not currently holding a queued event.
+  struct Slot {
+    Callback fn;
+    std::uint32_t next_free = kNoSlot;
+  };
+  struct Page {
+    Slot slots[kSlotsPerPage];
+  };
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  Slot& slot(std::uint32_t idx) {
+    return pages_[idx / kSlotsPerPage]->slots[idx % kSlotsPerPage];
+  }
+
+  // Schedule-side helpers live in the header so they inline into the
+  // templated schedule paths.
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = slot(idx).next_free;
+      return idx;
+    }
+    if (slots_used_ == pages_.size() * kSlotsPerPage) {
+      pages_.push_back(std::make_unique<Page>());
+    }
+    return slots_used_++;
+  }
+
+  void release_slot(std::uint32_t idx) {
+    slot(idx).next_free = free_head_;
+    free_head_ = idx;
+  }
+
+  void heap_push(HeapEntry e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  HeapEntry heap_pop();
+
+  // 4-ary min-heap ordered by (time, seq): shallower than binary, and the
+  // four-child scan stays within one cache line of 24-byte entries.
+  std::vector<HeapEntry> heap_;
+  // Slot pages are allocated once and never move, so callbacks can be
+  // invoked in place while the pool grows underneath them.
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t slots_used_ = 0;  ///< high-water mark across all pages
+
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

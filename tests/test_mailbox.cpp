@@ -58,6 +58,47 @@ TEST(Mailbox, PostKeepsExplicitThreshold) {
   EXPECT_EQ(mb.active().type, EpochType::kBytes);
 }
 
+TEST(Mailbox, PostWithDefaultThresholdPreservesMatchingType) {
+  // Regression: post() used to overwrite a caller-specified epoch type with
+  // the window default whenever threshold <= 0, silently discarding it.
+  Mailbox mb = make_mailbox(512, EpochType::kOps);
+  PostedBuffer buf;
+  buf.size = 4096;
+  buf.type = EpochType::kOps;  // explicit, consistent with the window
+  ASSERT_EQ(mb.post(buf), Status::kOk);
+  EXPECT_EQ(mb.active().threshold, 512);
+  EXPECT_EQ(mb.active().type, EpochType::kOps);
+}
+
+TEST(Mailbox, PostWithDefaultThresholdRejectsMismatchedType) {
+  // The window default threshold is counted in the window's units, so a
+  // default-threshold post naming a different type is inconsistent.
+  Mailbox mb = make_mailbox(512, EpochType::kOps);
+  PostedBuffer buf;
+  buf.size = 4096;
+  buf.type = EpochType::kBytes;  // explicit, conflicts with kOps window
+  EXPECT_EQ(mb.post(buf), Status::kInvalidArg);
+  EXPECT_EQ(mb.posted_count(), 0u);
+}
+
+TEST(Mailbox, PostExplicitThresholdInheritsWindowType) {
+  Mailbox mb = make_mailbox(512, EpochType::kOps);
+  PostedBuffer buf;
+  buf.size = 4096;
+  buf.threshold = 9;  // explicit count, type left as kInherit
+  ASSERT_EQ(mb.post(buf), Status::kOk);
+  EXPECT_EQ(mb.active().threshold, 9);
+  EXPECT_EQ(mb.active().type, EpochType::kOps);
+}
+
+TEST(Mailbox, PostNegativeThresholdRejected) {
+  Mailbox mb = make_mailbox();
+  PostedBuffer buf;
+  buf.size = 64;
+  buf.threshold = -5;
+  EXPECT_EQ(mb.post(buf), Status::kInvalidArg);
+}
+
 TEST(Mailbox, RejectsInvalidPosts) {
   Mailbox mb = make_mailbox();
   PostedBuffer empty;  // size 0
@@ -116,10 +157,31 @@ TEST(Mailbox, RetiredBufferRecordsReceivedBytesAndEpoch) {
   buf.size = 256;
   ASSERT_EQ(mb.post(buf), Status::kOk);
   mb.active().bytes_received = 200;
-  const RetiredBuffer r = mb.retire_active(true);
-  EXPECT_EQ(r.bytes_received, 200u);
-  EXPECT_EQ(r.epoch, 0);
-  EXPECT_TRUE(r.soft);
+  const std::optional<RetiredBuffer> r = mb.retire_active(true);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->bytes_received, 200u);
+  EXPECT_EQ(r->epoch, 0);
+  EXPECT_TRUE(r->soft);
+}
+
+TEST(Mailbox, RetireOnEmptyMailboxFailsWithoutStateChange) {
+  // Regression: retire_active used to dereference queue_.front() with an
+  // empty bucket (a completion racing an already-drained mailbox) — UB.
+  Mailbox mb = make_mailbox();
+  EXPECT_FALSE(mb.retire_active(false).has_value());
+  EXPECT_FALSE(mb.retire_active(true).has_value());
+  EXPECT_EQ(mb.epoch(), 0);
+  EXPECT_EQ(mb.completed_count(), 0u);
+  EXPECT_TRUE(mb.retired().empty());
+
+  // A drained mailbox behaves the same as a never-filled one.
+  PostedBuffer buf;
+  buf.size = 64;
+  ASSERT_EQ(mb.post(buf), Status::kOk);
+  EXPECT_TRUE(mb.retire_active(false).has_value());
+  EXPECT_FALSE(mb.retire_active(false).has_value());
+  EXPECT_EQ(mb.epoch(), 1);
+  EXPECT_EQ(mb.completed_count(), 1u);
 }
 
 TEST(Mailbox, RewindReturnsPreviousEpochs) {

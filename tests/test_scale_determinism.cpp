@@ -84,6 +84,33 @@ TEST(Determinism, IdenticalConfigsReplayIdentically) {
   EXPECT_EQ(a.second, b.second);  // identical event counts
 }
 
+TEST(Determinism, GoldenHalo3DStatsPinnedAcrossEngineRewrites) {
+  // Golden values recorded from the seed engine (commit d9148ab,
+  // std::function callbacks + std::priority_queue + per-packet injection)
+  // on this exact configuration. The SBO-callback/slot-pool engine, dense
+  // NIC dispatch, and burst fabric injection must replay this run
+  // bit-identically: every timestamp, tie-break, and adaptive routing
+  // decision. Any drift here means the hot-path rewrite changed observable
+  // simulation behaviour, not just its speed.
+  nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+                       nic::NicParams{});
+  RvmaTransport transport(cluster, core::RvmaParams{});
+  const MotifResult result =
+      MotifRunner(cluster, transport, build_halo3d(halo342())).run();
+
+  EXPECT_EQ(result.makespan, 21613280u);
+  EXPECT_EQ(result.engine_events, 45968u);
+  EXPECT_EQ(result.ops_executed, 9576u);
+  EXPECT_EQ(result.setup_done, 0u);
+  EXPECT_EQ(result.transport.data_messages, 2996u);
+  EXPECT_EQ(result.transport.control_messages, 0u);
+
+  const net::FabricStats& fs = cluster.network().fabric().stats();
+  EXPECT_EQ(fs.packets_delivered, 5992u);
+  EXPECT_EQ(fs.wire_bytes_delivered, 24734976u);
+  EXPECT_EQ(fs.total_hops, 17481u);
+}
+
 TEST(Determinism, SeedChangesAdaptiveOutcome) {
   auto run_with_seed = [](std::uint64_t seed) {
     net::NetworkConfig cfg = dragonfly342(net::Routing::kAdaptive);

@@ -1,6 +1,9 @@
 // Unit tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -74,6 +77,92 @@ TEST(Engine, RunUntilAdvancesClockWhenIdle) {
   Engine e;
   e.run_until(500);
   EXPECT_EQ(e.now(), 500u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithPendingFutureEvents) {
+  // Regression: run_until used to leave now() at the last executed event
+  // when events remained beyond the deadline, so a subsequent relative
+  // schedule(delay) fired `deadline - now()` early.
+  Engine e;
+  Time late_fired_at = 0;
+  e.schedule_at(10, [] {});
+  e.schedule_at(1000, [&] { late_fired_at = e.now(); });
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 500u);  // clock reached the deadline
+  EXPECT_EQ(e.pending(), 1u);
+
+  // A relative schedule issued after run_until anchors at the deadline.
+  Time rel_fired_at = 0;
+  e.schedule(100, [&] { rel_fired_at = e.now(); });
+  e.run();
+  EXPECT_EQ(rel_fired_at, 600u);
+  EXPECT_EQ(late_fired_at, 1000u);
+}
+
+TEST(Engine, RunUntilStoppedDoesNotJumpToDeadline) {
+  // stop() aborts the span: the clock stays at the stopping event so the
+  // caller can observe where simulation actually halted.
+  Engine e;
+  e.schedule_at(10, [&] { e.stop(); });
+  e.schedule_at(20, [&] {});
+  e.run_until(500);
+  EXPECT_EQ(e.now(), 10u);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, MoveOnlyCaptureAndLargeCaptureCallbacks) {
+  // The SBO callback must handle move-only captures (std::function could
+  // not) and captures larger than the inline buffer (pooled heap fallback).
+  Engine e;
+  int via_unique = 0;
+  auto owned = std::make_unique<int>(7);
+  e.schedule_at(1, [&via_unique, p = std::move(owned)] { via_unique = *p; });
+
+  struct Big {
+    char bytes[200];
+  };
+  Big big{};
+  big.bytes[0] = 42;
+  char seen = 0;
+  e.schedule_at(2, [&seen, big] { seen = big.bytes[0]; });
+  e.run();
+  EXPECT_EQ(via_unique, 7);
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(Engine, ReservedSequencesPinTieBreakOrder) {
+  // reserve_sequence lets lazily scheduled events (fabric packet bursts)
+  // execute in the order they would have had if scheduled eagerly.
+  Engine e;
+  std::vector<int> order;
+  const std::uint64_t base = e.reserve_sequence(2);
+  // Scheduled later, but sequences reserved earlier: at an equal timestamp
+  // the reserved events must run before this one.
+  e.schedule_at(100, [&] { order.push_back(3); });
+  e.schedule_at_seq(100, base + 1, [&] { order.push_back(2); });
+  e.schedule_at_seq(100, base, [&] { order.push_back(1); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SteadyStateSchedulingReusesSlots) {
+  // Steady-state: a long self-rescheduling chain keeps pending() at 1 and
+  // must not grow internal storage (zero-allocation invariant; the
+  // allocation count itself is asserted by bench/engine_throughput).
+  Engine e;
+  int depth = 0;
+  struct Hop {
+    Engine& e;
+    int& depth;
+    std::uint64_t payload[6];  // 48-byte capture: stays inline
+    void operator()() const {
+      if (++depth < 100000) e.schedule(1, *this);
+    }
+  };
+  e.schedule_at(0, Hop{e, depth, {}});
+  e.run();
+  EXPECT_EQ(depth, 100000);
+  EXPECT_EQ(e.executed_events(), 100000u);
 }
 
 TEST(Engine, StopHaltsRun) {

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Build the engine hot-path benchmark in Release mode and run it,
+# writing BENCH_engine.json at the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-bench"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" --target engine_throughput -j "$(nproc)"
+
+"$build_dir/bench/engine_throughput" "$repo_root/BENCH_engine.json"
