@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/endpoint.hpp"
+#include "exec/sweep_executor.hpp"
 
 using namespace rvma;
 using core::EpochType;
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int mailboxes = static_cast<int>(cli.get_int("mailboxes", 64));
   const int epochs = static_cast<int>(cli.get_int("epochs", 20));
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -83,11 +85,21 @@ int main(int argc, char** argv) {
 
   Table table({"nic counters", "spilled pkts", "lat us (PCIe5 200ns)",
                "lat us (PCIe6 20ns)"});
-  for (int counters : {0, 8, 16, 32, 48, 64, 128}) {
-    const Result gen5 =
-        run_case(mailboxes, counters, 200 * kNanosecond, epochs);
-    const Result gen6 = run_case(mailboxes, counters, 20 * kNanosecond, epochs);
-    table.add_row({std::to_string(counters), std::to_string(gen5.spilled_packets),
+  const std::vector<int> pool_sizes = {0, 8, 16, 32, 48, 64, 128};
+  // Each (pool size, PCIe gen) case is an independent simulation: fan the
+  // grid out over the sweep executor, collect in deterministic order.
+  const auto results = exec::sweep_map<Result>(
+      jobs, pool_sizes.size() * 2, [&](std::size_t i) {
+        const int counters = pool_sizes[i / 2];
+        const Time penalty =
+            (i % 2) == 0 ? 200 * kNanosecond : 20 * kNanosecond;
+        return run_case(mailboxes, counters, penalty, epochs);
+      });
+  for (std::size_t i = 0; i < pool_sizes.size(); ++i) {
+    const Result& gen5 = results[i * 2];
+    const Result& gen6 = results[i * 2 + 1];
+    table.add_row({std::to_string(pool_sizes[i]),
+                   std::to_string(gen5.spilled_packets),
                    Table::num(gen5.mean_us, 3), Table::num(gen6.mean_us, 3)});
   }
   table.print();

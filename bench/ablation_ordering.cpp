@@ -13,6 +13,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/endpoint.hpp"
+#include "exec/sweep_executor.hpp"
 #include "rdma/rdma.hpp"
 
 using namespace rvma;
@@ -30,17 +31,18 @@ net::NetworkConfig hyperx(net::Routing routing, std::uint64_t seed) {
 }
 
 struct TrialResult {
-  int premature = 0;       // last-byte fired before all payload landed
-  int rvma_complete = 0;   // RVMA completions with full byte count
+  bool premature = false;   // last-byte fired before all payload landed
+  bool rvma_complete = false;  // RVMA completion saw the full byte count
   double rdma_lat_us = 0;
   double rvma_lat_us = 0;
 };
 
-TrialResult run_trials(net::Routing routing, int trials,
-                       std::uint64_t msg_bytes) {
+/// One independent trial (own cluster, seeded by trial index) — the unit
+/// the sweep executor fans out.
+TrialResult run_one_trial(net::Routing routing, int t,
+                          std::uint64_t msg_bytes) {
   TrialResult out;
-  RunningStat rdma_lat, rvma_lat;
-  for (int t = 0; t < trials; ++t) {
+  {
     nic::NicParams nic_params;
     nic_params.mtu = 1024;
     nic::Cluster cluster(hyperx(routing, 100 + t), nic_params);
@@ -66,7 +68,6 @@ TrialResult run_trials(net::Routing routing, int trials,
                          core::EpochType::kBytes);
     rvma_dst.post_buffer_timing_only(0x1, msg_bytes);
 
-    bool premature = false;
     Time start = 0;
     cluster.engine().schedule(0, [&] {
       start = cluster.engine().now();
@@ -75,22 +76,19 @@ TrialResult run_trials(net::Routing routing, int trials,
                   (256 + 32 * t) * KiB, {});
       rdma_dst.arm_last_byte_poll(region, msg_bytes,
                                   [&](Time t_fire, std::uint64_t seen) {
-                                    premature = seen < msg_bytes;
-                                    rdma_lat.add(to_us(t_fire - start));
+                                    out.premature = seen < msg_bytes;
+                                    out.rdma_lat_us = to_us(t_fire - start);
                                   });
       rdma_src.put(rdma::RemoteBuffer{15, region, msg_bytes}, 0, nullptr,
                    msg_bytes, {});
       rvma_src.put(14, 0x1, 0, nullptr, msg_bytes);
     });
     rvma_dst.set_completion_observer(0x1, [&](void*, std::int64_t len) {
-      if (len == static_cast<std::int64_t>(msg_bytes)) ++out.rvma_complete;
-      rvma_lat.add(to_us(cluster.engine().now() - start));
+      out.rvma_complete = len == static_cast<std::int64_t>(msg_bytes);
+      out.rvma_lat_us = to_us(cluster.engine().now() - start);
     });
     cluster.engine().run();
-    out.premature += premature;
   }
-  out.rdma_lat_us = rdma_lat.mean();
-  out.rvma_lat_us = rvma_lat.mean();
   return out;
 }
 
@@ -102,6 +100,7 @@ int main(int argc, char** argv) {
   // 31 packets: an odd count, so the flag-carrying final packet rides the
   // less-congested of the two disjoint paths under adaptive routing.
   const std::uint64_t bytes = cli.get_int("bytes", 31 * 1024);
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -112,15 +111,33 @@ int main(int argc, char** argv) {
               "trials per routing\n\n",
               static_cast<unsigned long long>(bytes), trials);
 
+  // Every (routing, trial) pair is an independent cluster with a
+  // deterministic per-trial seed — fan them all out, then aggregate in
+  // trial order so the reported means are bit-identical at any job count.
+  const net::Routing routings[] = {net::Routing::kStatic,
+                                   net::Routing::kAdaptive};
+  const auto results = exec::sweep_map<TrialResult>(
+      jobs, 2 * static_cast<std::size_t>(trials), [&](std::size_t i) {
+        const net::Routing routing = routings[i / trials];
+        return run_one_trial(routing, static_cast<int>(i % trials), bytes);
+      });
+
   Table table({"routing", "last-byte premature", "rvma complete",
                "rdma poll lat us", "rvma lat us"});
-  for (net::Routing routing : {net::Routing::kStatic, net::Routing::kAdaptive}) {
-    const TrialResult r = run_trials(routing, trials, bytes);
-    table.add_row({std::string(net::to_string(routing)),
-                   std::to_string(r.premature) + "/" + std::to_string(trials),
-                   std::to_string(r.rvma_complete) + "/" +
-                       std::to_string(trials),
-                   Table::num(r.rdma_lat_us), Table::num(r.rvma_lat_us)});
+  for (std::size_t r = 0; r < 2; ++r) {
+    int premature = 0, complete = 0;
+    RunningStat rdma_lat, rvma_lat;
+    for (int t = 0; t < trials; ++t) {
+      const TrialResult& trial = results[r * trials + t];
+      premature += trial.premature;
+      complete += trial.rvma_complete;
+      rdma_lat.add(trial.rdma_lat_us);
+      rvma_lat.add(trial.rvma_lat_us);
+    }
+    table.add_row({std::string(net::to_string(routings[r])),
+                   std::to_string(premature) + "/" + std::to_string(trials),
+                   std::to_string(complete) + "/" + std::to_string(trials),
+                   Table::num(rdma_lat.mean()), Table::num(rvma_lat.mean())});
   }
   table.print();
   std::printf("\nstatic routing: last-byte polling is safe (0 premature).\n"

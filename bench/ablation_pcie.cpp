@@ -9,9 +9,11 @@
 // RVMA speedup, which grows as the bus gets faster.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "exec/sweep_executor.hpp"
 #include "motifs/rdma_transport.hpp"
 #include "motifs/runner.hpp"
 #include "motifs/rvma_transport.hpp"
@@ -60,6 +62,7 @@ Time sweep_time(Time pcie, bool use_rvma) {
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -76,15 +79,22 @@ int main(int argc, char** argv) {
   };
 
   std::printf("Ablation: PCIe host-NIC crossing latency (paper §V-B)\n\n");
+  // Both tables are grids of independent simulations: (generation x mode)
+  // latency runs and (generation x protocol) motif runs — fan them all
+  // out together and print in generation order.
+  const std::size_t n_gens = std::size(gens);
+  const auto lat_results = exec::sweep_map<LatencyResult>(
+      jobs, n_gens * 2, [&](std::size_t i) {
+        SystemProfile profile = verbs_opa();
+        profile.nic.pcie_latency = gens[i / 2].latency;
+        const Mode mode = (i % 2) == 0 ? Mode::kRvma : Mode::kRdmaAdaptive;
+        return measure_put_latency(profile, mode, 8, 100, 1, 1);
+      });
   Table lat({"generation", "rvma 8B us", "rdma-adaptive 8B us", "reduction"});
-  for (const Gen& gen : gens) {
-    SystemProfile profile = verbs_opa();
-    profile.nic.pcie_latency = gen.latency;
-    const auto rvma =
-        measure_put_latency(profile, Mode::kRvma, 8, 100, 1, 1);
-    const auto rdma =
-        measure_put_latency(profile, Mode::kRdmaAdaptive, 8, 100, 1, 1);
-    lat.add_row({gen.name, Table::num(rvma.mean_us),
+  for (std::size_t i = 0; i < n_gens; ++i) {
+    const LatencyResult& rvma = lat_results[i * 2];
+    const LatencyResult& rdma = lat_results[i * 2 + 1];
+    lat.add_row({gens[i].name, Table::num(rvma.mean_us),
                  Table::num(rdma.mean_us),
                  Table::num((1.0 - rvma.mean_us / rdma.mean_us) * 100.0, 1) +
                      "%"});
@@ -92,11 +102,15 @@ int main(int argc, char** argv) {
   lat.print();
 
   std::printf("\nSweep3D on adaptive dragonfly @ 400 Gbps, 36 ranks:\n");
+  const auto motif_results = exec::sweep_map<Time>(
+      jobs, n_gens * 2, [&](std::size_t i) {
+        return sweep_time(gens[i / 2].latency, (i % 2) != 0);
+      });
   Table motif({"generation", "rdma ms", "rvma ms", "speedup"});
-  for (const Gen& gen : gens) {
-    const Time rdma = sweep_time(gen.latency, false);
-    const Time rvma = sweep_time(gen.latency, true);
-    motif.add_row({gen.name, Table::num(to_ms(rdma), 3),
+  for (std::size_t i = 0; i < n_gens; ++i) {
+    const Time rdma = motif_results[i * 2];
+    const Time rvma = motif_results[i * 2 + 1];
+    motif.add_row({gens[i].name, Table::num(to_ms(rdma), 3),
                    Table::num(to_ms(rvma), 3),
                    Table::num(static_cast<double>(rdma) /
                                   static_cast<double>(rvma),

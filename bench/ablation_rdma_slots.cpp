@@ -8,9 +8,11 @@
 // spend more registered memory to reduce stalls, but the per-message
 // completion/credit traffic — what RVMA eliminates — remains.
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "exec/sweep_executor.hpp"
 #include "motifs/incast.hpp"
 #include "motifs/rdma_transport.hpp"
 #include "motifs/runner.hpp"
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   cfg.messages_per_client = static_cast<int>(cli.get_int("messages", 16));
   cfg.bytes = cli.get_int("bytes", 16 * KiB);
   cfg.client_compute = 200 * kNanosecond;
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -51,24 +54,30 @@ int main(int argc, char** argv) {
               cfg.clients, cfg.messages_per_client,
               static_cast<unsigned long long>(cfg.bytes));
 
-  Time rvma_time = 0;
-  {
-    nic::Cluster cluster(fattree(cfg.ranks()), nic::NicParams{});
-    RvmaTransport transport(cluster, core::RvmaParams{});
-    rvma_time =
-        MotifRunner(cluster, transport, build_incast(cfg)).run().makespan;
-  }
+  // Job 0 is the RVMA reference, jobs 1..N the RDMA depth sweep — all
+  // independent clusters, so they fan out over the sweep executor.
+  const std::vector<int> slot_depths = {1, 2, 4, 8, 16};
+  const auto results = exec::sweep_map<MotifResult>(
+      jobs, slot_depths.size() + 1, [&](std::size_t i) {
+        nic::Cluster cluster(fattree(cfg.ranks()), nic::NicParams{});
+        if (i == 0) {
+          RvmaTransport transport(cluster, core::RvmaParams{});
+          return MotifRunner(cluster, transport, build_incast(cfg)).run();
+        }
+        RdmaTransport transport(cluster, rdma::RdmaParams{},
+                                /*ordered_network=*/false,
+                                slot_depths[i - 1]);
+        return MotifRunner(cluster, transport, build_incast(cfg)).run();
+      });
+  const Time rvma_time = results[0].makespan;
 
   Table table({"rdma slots", "time us", "credit stalls", "ctrl msgs",
                "rvma speedup"});
-  for (int slots : {1, 2, 4, 8, 16}) {
-    nic::Cluster cluster(fattree(cfg.ranks()), nic::NicParams{});
-    RdmaTransport transport(cluster, rdma::RdmaParams{},
-                            /*ordered_network=*/false, slots);
-    const MotifResult result =
-        MotifRunner(cluster, transport, build_incast(cfg)).run();
+  for (std::size_t i = 0; i < slot_depths.size(); ++i) {
+    const MotifResult& result = results[i + 1];
     table.add_row(
-        {std::to_string(slots), Table::num(to_us(result.makespan), 1),
+        {std::to_string(slot_depths[i]),
+         Table::num(to_us(result.makespan), 1),
          std::to_string(result.transport.credit_stalls),
          std::to_string(result.transport.control_messages),
          Table::num(static_cast<double>(result.makespan) /

@@ -1,140 +1,6 @@
-// Shared driver for the Figure 7 / Figure 8 motif tables: runs one motif
-// over every (topology, routing, link speed) x (RDMA, RVMA) combination
-// and prints per-combination times and speedups.
+// The Figure 7 / Figure 8 grid driver now lives in the motifs library
+// (src/motifs/figure_bench.hpp) so tests can exercise the parallel sweep
+// path; this header remains for the bench binaries' includes.
 #pragma once
 
-#include <algorithm>
-#include <cstdio>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "common/cli.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "motifs/rdma_transport.hpp"
-#include "motifs/runner.hpp"
-#include "motifs/rvma_transport.hpp"
-
-namespace rvma::motifs {
-
-struct MotifBenchConfig {
-  const char* figure = "";
-  const char* motif = "";
-  int nodes = 64;
-  /// RDMA credit-pipeline depth (registered slots per channel). 2 =
-  /// double buffering, the standard tuned-RDMA practice; the remaining
-  /// RDMA penalty is then the fixed-latency coordination traffic.
-  int rdma_slots = 2;
-  /// Builds the per-rank programs for a cluster of exactly `nodes` ranks.
-  std::function<std::vector<RankProgram>(int nodes)> build;
-  std::vector<double> gbps = {100, 200, 400, 2000};
-};
-
-struct MotifCell {
-  Time rdma = 0;
-  Time rvma = 0;
-  double speedup() const {
-    return rvma == 0 ? 0.0
-                     : static_cast<double>(rdma) / static_cast<double>(rvma);
-  }
-};
-
-inline Time run_motif_once(const MotifBenchConfig& bench,
-                           net::TopologyKind kind, net::Routing routing,
-                           Bandwidth bw, bool use_rvma) {
-  net::NetworkConfig cfg;
-  cfg.topology = kind;
-  cfg.routing = routing;
-  cfg.nodes_hint = bench.nodes;
-  cfg.link.bw = bw;
-  cfg.link.latency = 100 * kNanosecond;
-  cfg.switch_latency = 100 * kNanosecond;
-  cfg.xbar_factor = 1.5;  // crossbar always 50% above link bw (paper §V-B1)
-  cfg.seed = 2021;
-
-  nic::Cluster cluster(cfg, nic::NicParams{});
-  auto programs = bench.build(bench.nodes);
-  if (use_rvma) {
-    RvmaTransport transport(cluster, core::RvmaParams{});
-    return MotifRunner(cluster, transport, std::move(programs)).run().makespan;
-  }
-  RdmaTransport transport(cluster, rdma::RdmaParams{},
-                          routing == net::Routing::kStatic, bench.rdma_slots);
-  return MotifRunner(cluster, transport, std::move(programs)).run().makespan;
-}
-
-inline int run_motif_figure(MotifBenchConfig bench, int argc, char** argv) {
-  Cli cli(argc, argv);
-  bench.nodes = static_cast<int>(cli.get_int("nodes", bench.nodes));
-  bench.rdma_slots =
-      static_cast<int>(cli.get_int("rdma-slots", bench.rdma_slots));
-  const bool quick = cli.get_bool("quick", false);
-  for (const auto& key : cli.unconsumed()) {
-    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
-    return 2;
-  }
-  if (quick) bench.gbps = {100, 2000};
-
-  struct TopoCase {
-    const char* name;
-    net::TopologyKind kind;
-    net::Routing routing;
-  };
-  const std::vector<TopoCase> cases = {
-      {"torus3d-static", net::TopologyKind::kTorus3D, net::Routing::kStatic},
-      {"torus3d-adaptive", net::TopologyKind::kTorus3D, net::Routing::kAdaptive},
-      {"fattree-static", net::TopologyKind::kFatTree, net::Routing::kStatic},
-      {"fattree-adaptive", net::TopologyKind::kFatTree, net::Routing::kAdaptive},
-      {"dragonfly-static", net::TopologyKind::kDragonfly, net::Routing::kStatic},
-      {"dragonfly-adaptive", net::TopologyKind::kDragonfly,
-       net::Routing::kAdaptive},
-      {"hyperx-DOR", net::TopologyKind::kHyperX, net::Routing::kStatic},
-      {"hyperx-adaptive", net::TopologyKind::kHyperX, net::Routing::kAdaptive},
-  };
-
-  std::printf("%s: %s motif, RVMA vs RDMA across topologies, routing, and "
-              "link speeds (%d ranks)\n",
-              bench.figure, bench.motif, bench.nodes);
-  std::printf("crossbar = 1.5x link bw, PCIe 150 ns (paper model "
-              "parameters)\n\n");
-
-  std::vector<std::string> headers = {"topology-routing"};
-  for (double g : bench.gbps) {
-    headers.push_back(format_bandwidth(Bandwidth::gbps(g)) + " rdma");
-    headers.push_back("rvma");
-    headers.push_back("speedup");
-  }
-  Table table(headers);
-
-  RunningStat all_speedups;
-  double best = 0.0;
-  std::string best_case;
-  for (const TopoCase& tc : cases) {
-    std::vector<std::string> row = {tc.name};
-    for (double g : bench.gbps) {
-      const Bandwidth bw = Bandwidth::gbps(g);
-      MotifCell cell;
-      cell.rdma = run_motif_once(bench, tc.kind, tc.routing, bw, false);
-      cell.rvma = run_motif_once(bench, tc.kind, tc.routing, bw, true);
-      const double speedup = cell.speedup();
-      all_speedups.add(speedup);
-      if (speedup > best) {
-        best = speedup;
-        best_case = std::string(tc.name) + " @ " + format_bandwidth(bw);
-      }
-      row.push_back(Table::num(to_ms(cell.rdma), 3) + " ms");
-      row.push_back(Table::num(to_ms(cell.rvma), 3) + " ms");
-      row.push_back(Table::num(speedup, 2) + "x");
-    }
-    table.add_row(std::move(row));
-  }
-  table.print();
-  std::printf("\naverage RVMA speedup across all topologies/speeds: %.2fx\n",
-              all_speedups.mean());
-  std::printf("best case: %.2fx (%s)\n", best, best_case.c_str());
-  std::printf("min speedup: %.2fx\n", all_speedups.min());
-  return 0;
-}
-
-}  // namespace rvma::motifs
+#include "motifs/figure_bench.hpp"

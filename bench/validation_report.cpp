@@ -4,10 +4,17 @@
 // prediction vs the simulated one-way latency (they must agree exactly),
 // plus the effective-bandwidth asymptote that shows the simulator honors
 // the configured link rate.
+//
+// Every point is an independent two-node simulation, so the whole grid
+// (profile x mode x size, plus the bandwidth asymptote) fans out over
+// exec::SweepExecutor; rows print in deterministic grid order regardless
+// of --jobs.
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "exec/sweep_executor.hpp"
 #include "perf/validation.hpp"
 
 using namespace rvma;
@@ -15,6 +22,8 @@ using namespace rvma::perf;
 
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -22,19 +31,38 @@ int main(int argc, char** argv) {
 
   const std::vector<std::uint64_t> sizes = {2,     64,      1024,
                                             16384, 262144, 4194304};
+  const std::vector<SystemProfile> profiles = {verbs_opa(), ucx_cx5()};
+  const std::vector<Mode> modes = {Mode::kRvma, Mode::kRdmaStatic,
+                                   Mode::kRdmaAdaptive};
+  std::printf("validation sweep: seed %llu\n\n",
+              static_cast<unsigned long long>(seed));
+
+  // Flatten (profile, mode, size) row-major so printing below can walk
+  // the results grid in order.
+  const std::size_t points = profiles.size() * modes.size() * sizes.size();
+  const auto rows = exec::sweep_map<ValidationRow>(
+      jobs, points, [&](std::size_t i) {
+        const std::size_t pi = i / (modes.size() * sizes.size());
+        const std::size_t mi = (i / sizes.size()) % modes.size();
+        const std::size_t si = i % sizes.size();
+        return validate_point(profiles[pi], modes[mi], sizes[si], seed);
+      });
+
   int mismatches = 0;
-  for (const SystemProfile& profile : {verbs_opa(), ucx_cx5()}) {
-    std::printf("=== profile %s ===\n", profile.name.c_str());
-    for (Mode mode : {Mode::kRvma, Mode::kRdmaStatic, Mode::kRdmaAdaptive}) {
+  for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+    std::printf("=== profile %s ===\n", profiles[pi].name.c_str());
+    for (std::size_t mi = 0; mi < modes.size(); ++mi) {
       Table table({"size", "analytic us", "simulated us", "error"});
-      for (const ValidationRow& row : validate_mode(profile, mode, sizes)) {
+      for (std::size_t si = 0; si < sizes.size(); ++si) {
+        const ValidationRow& row =
+            rows[(pi * modes.size() + mi) * sizes.size() + si];
         if (row.error() != 0.0) ++mismatches;
         table.add_row({format_size(row.bytes),
                        Table::num(to_us(row.predicted), 4),
                        Table::num(to_us(row.simulated), 4),
                        Table::num(row.error() * 100.0, 3) + "%"});
       }
-      std::printf("-- %s --\n", to_string(mode));
+      std::printf("-- %s --\n", to_string(modes[mi]));
       table.print();
       std::printf("\n");
     }
@@ -43,10 +71,19 @@ int main(int argc, char** argv) {
   std::printf("=== effective bandwidth asymptote (verbs-opa, RVMA) ===\n");
   Table bw({"size", "effective Gbps", "of line rate"});
   const SystemProfile profile = verbs_opa();
-  for (std::uint64_t bytes : {64ull * KiB, 1ull * MiB, 16ull * MiB, 64ull * MiB}) {
-    const double gbps = effective_bandwidth_gbps(profile, Mode::kRvma, bytes);
-    bw.add_row({format_size(bytes), Table::num(gbps, 1),
-                Table::num(gbps / profile.link.bw.gbps_value() * 100.0, 1) + "%"});
+  const std::vector<std::uint64_t> bw_sizes = {64ull * KiB, 1ull * MiB,
+                                               16ull * MiB, 64ull * MiB};
+  const auto gbps_results = exec::sweep_map<double>(
+      jobs, bw_sizes.size(), [&](std::size_t i) {
+        return effective_bandwidth_gbps(profile, Mode::kRvma, bw_sizes[i],
+                                        seed);
+      });
+  for (std::size_t i = 0; i < bw_sizes.size(); ++i) {
+    bw.add_row({format_size(bw_sizes[i]), Table::num(gbps_results[i], 1),
+                Table::num(gbps_results[i] / profile.link.bw.gbps_value() *
+                               100.0,
+                           1) +
+                    "%"});
   }
   bw.print();
 

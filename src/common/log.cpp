@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
@@ -35,12 +36,17 @@ void init_log_from_env() {
 
 namespace detail {
 void vlog(LogLevel level, const char* fmt, ...) {
-  std::fprintf(stderr, "[rvma %s] ", level_tag(level));
+  // One buffered write per line so messages from concurrent engine
+  // threads (SweepExecutor jobs) never interleave mid-line on stderr.
+  char buf[1024];
+  int len = std::snprintf(buf, sizeof(buf), "[rvma %s] ", level_tag(level));
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int n = std::vsnprintf(buf + len, sizeof(buf) - len - 1, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (n > 0) len = std::min(len + n, static_cast<int>(sizeof(buf)) - 1);
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(len), stderr);
 }
 }  // namespace detail
 

@@ -1,6 +1,7 @@
 #include "common/trace.hpp"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace rvma {
 
@@ -11,9 +12,11 @@ Tracer& Tracer::global() {
 
 bool Tracer::open(const std::string& path) {
   close();
-  file_ = std::fopen(path.c_str(), "w");
-  events_ = 0;
-  return file_ != nullptr;
+  events_.store(0, std::memory_order_relaxed);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  file_ = file;
+  return true;
 }
 
 void Tracer::close() {
@@ -26,15 +29,32 @@ void Tracer::close() {
 void Tracer::record(Time now, std::string_view event,
                     std::initializer_list<Field> fields) {
   if (file_ == nullptr) return;
-  std::fprintf(file_, "{\"t\":%llu,\"ev\":\"%.*s\"",
-               static_cast<unsigned long long>(now),
-               static_cast<int>(event.size()), event.data());
+  // Format the whole line locally and emit it with one fwrite: FILE*
+  // writes are locked, so lines from concurrent engines sharing this sink
+  // never interleave mid-record.
+  char buf[768];
+  int len = std::snprintf(buf, sizeof(buf), "{\"t\":%llu,\"ev\":\"%.*s\"",
+                          static_cast<unsigned long long>(now),
+                          static_cast<int>(event.size()), event.data());
   for (const Field& field : fields) {
-    std::fprintf(file_, ",\"%.*s\":%lld", static_cast<int>(field.key.size()),
-                 field.key.data(), static_cast<long long>(field.value));
+    if (len >= static_cast<int>(sizeof(buf))) break;
+    const int n = std::snprintf(buf + len, sizeof(buf) - len,
+                                ",\"%.*s\":%lld",
+                                static_cast<int>(field.key.size()),
+                                field.key.data(),
+                                static_cast<long long>(field.value));
+    if (n < 0) break;
+    len += n;
   }
-  std::fputs("}\n", file_);
-  ++events_;
+  // Reserve room for the closing "}\n" even if a pathological event
+  // overflowed the buffer (fields are numeric, so 768 bytes is ample).
+  if (len > static_cast<int>(sizeof(buf)) - 2) {
+    len = static_cast<int>(sizeof(buf)) - 2;
+  }
+  buf[len++] = '}';
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(len), file_);
+  events_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void init_trace_from_env() {

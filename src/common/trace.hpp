@@ -5,8 +5,16 @@
 //
 // Enable programmatically (Tracer::open) or via RVMA_TRACE=<path> in the
 // environment (init_trace_from_env), mirroring RVMA_LOG.
+//
+// Thread safety: record() formats each line into a stack buffer and hands
+// it to the FILE* with a single locked fwrite, and the event counter is
+// atomic — so several engines running concurrently (SweepExecutor jobs)
+// may share one sink without interleaving partial lines. open()/close()
+// are not synchronized against concurrent record() calls; reconfigure
+// sinks only while no simulation is running.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <initializer_list>
@@ -30,28 +38,35 @@ class Tracer {
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
+  /// Open (truncate) `path` as the sink. On failure the tracer is fully
+  /// closed and the event counter reset — never stale state from a
+  /// previous session.
   bool open(const std::string& path);
   void close();
   bool enabled() const { return file_ != nullptr; }
 
-  /// Emit {"t":<ps>,"ev":"<event>",<fields...>}.
+  /// Emit {"t":<ps>,"ev":"<event>",<fields...>} as one atomic write.
   void record(Time now, std::string_view event,
               std::initializer_list<Field> fields);
 
-  std::uint64_t events_written() const { return events_; }
+  std::uint64_t events_written() const {
+    return events_.load(std::memory_order_relaxed);
+  }
 
-  /// Process-wide tracer used by the built-in hooks.
+  /// Process-wide tracer used as the default engine sink.
   static Tracer& global();
 
  private:
   std::FILE* file_ = nullptr;
-  std::uint64_t events_ = 0;
+  std::atomic<std::uint64_t> events_ = 0;
 };
 
 /// Open the global tracer from RVMA_TRACE, if set.
 void init_trace_from_env();
 
 /// Convenience: record into the global tracer only when it is enabled.
+/// Simulation components should prefer sim::Engine::trace(), which routes
+/// through the engine's per-run sink.
 inline void trace_event(Time now, std::string_view event,
                         std::initializer_list<Tracer::Field> fields) {
   Tracer& tracer = Tracer::global();

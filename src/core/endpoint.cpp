@@ -227,10 +227,10 @@ void RvmaEndpoint::get(NodeId dst, std::uint64_t vaddr, std::uint64_t offset,
 
 void RvmaEndpoint::send_nack(NodeId to, net::Pid to_pid, std::uint64_t vaddr,
                              Status reason) {
-  trace_event(engine_.now(), "rvma_drop",
-              {{"node", node()},
-               {"vaddr", static_cast<std::int64_t>(vaddr)},
-               {"reason", static_cast<std::int64_t>(reason)}});
+  engine_.trace("rvma_drop",
+                {{"node", node()},
+                 {"vaddr", static_cast<std::int64_t>(vaddr)},
+                 {"reason", static_cast<std::int64_t>(reason)}});
   if (!params_.nacks_enabled) return;
   ++stats_.nacks_sent;
   net::Message msg;
@@ -427,12 +427,12 @@ void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
   } else {
     ++stats_.completions;
   }
-  trace_event(engine_.now(), "rvma_complete",
-              {{"node", node()},
-               {"vaddr", static_cast<std::int64_t>(vaddr)},
-               {"len", len},
-               {"epoch", mb.epoch()},
-               {"soft", soft ? 1 : 0}});
+  engine_.trace("rvma_complete",
+                {{"node", node()},
+                 {"vaddr", static_cast<std::int64_t>(vaddr)},
+                 {"len", len},
+                 {"epoch", mb.epoch()},
+                 {"soft", soft ? 1 : 0}});
   if (mb.has_active()) {
     assign_counter(mb.active());
   }

@@ -1,0 +1,103 @@
+#include "exec/sweep_executor.hpp"
+
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace rvma::exec {
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepExecutor::SweepExecutor(int jobs)
+    : jobs_(jobs <= 0 ? hardware_jobs() : jobs) {}
+
+namespace {
+
+/// One worker's job queue. Owners pop from the front, thieves steal from
+/// the back; simulation jobs are milliseconds to seconds long, so a plain
+/// mutex per deque costs nothing measurable next to the work itself.
+struct WorkQueue {
+  std::mutex mu;
+  std::deque<std::size_t> jobs;
+
+  bool pop_front(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.front();
+    jobs.pop_front();
+    return true;
+  }
+
+  bool steal_back(std::size_t& out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return false;
+    out = jobs.back();
+    jobs.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<std::exception_ptr> SweepExecutor::run(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  std::vector<std::exception_ptr> errors(n);
+  if (n == 0) return errors;
+
+  auto run_one = [&](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(n, static_cast<std::size_t>(jobs_)));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+    return errors;
+  }
+
+  // Deal jobs round-robin so each worker starts with a spread of grid
+  // coordinates (neighboring cells have correlated cost); all work is
+  // enqueued before any worker starts, so an empty sweep of every queue
+  // means the grid is done — no condition variables needed.
+  std::vector<WorkQueue> queues(workers);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues[i % workers].jobs.push_back(i);
+  }
+
+  auto worker_loop = [&](int self) {
+    std::size_t job;
+    for (;;) {
+      if (queues[self].pop_front(job)) {
+        run_one(job);
+        continue;
+      }
+      bool stole = false;
+      for (int k = 1; k < workers; ++k) {
+        if (queues[(self + k) % workers].steal_back(job)) {
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) return;  // every queue drained
+      run_one(job);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (int w = 1; w < workers; ++w) {
+    threads.emplace_back(worker_loop, w);
+  }
+  worker_loop(0);
+  for (std::thread& t : threads) t.join();
+  return errors;
+}
+
+}  // namespace rvma::exec

@@ -1,0 +1,244 @@
+#include "motifs/figure_bench.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exec/sweep_executor.hpp"
+#include "motifs/rdma_transport.hpp"
+#include "motifs/rvma_transport.hpp"
+
+namespace rvma::motifs {
+
+const std::vector<TopoCase>& figure_topo_cases() {
+  static const std::vector<TopoCase> cases = {
+      {"torus3d-static", net::TopologyKind::kTorus3D, net::Routing::kStatic},
+      {"torus3d-adaptive", net::TopologyKind::kTorus3D, net::Routing::kAdaptive},
+      {"fattree-static", net::TopologyKind::kFatTree, net::Routing::kStatic},
+      {"fattree-adaptive", net::TopologyKind::kFatTree, net::Routing::kAdaptive},
+      {"dragonfly-static", net::TopologyKind::kDragonfly, net::Routing::kStatic},
+      {"dragonfly-adaptive", net::TopologyKind::kDragonfly,
+       net::Routing::kAdaptive},
+      {"hyperx-DOR", net::TopologyKind::kHyperX, net::Routing::kStatic},
+      {"hyperx-adaptive", net::TopologyKind::kHyperX, net::Routing::kAdaptive},
+  };
+  return cases;
+}
+
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              std::uint64_t case_index,
+                              std::uint64_t speed_index, bool use_rvma) {
+  // Chain the coordinates through splitmix64: neighboring cells get
+  // decorrelated streams, and a fixed (base, coordinates) tuple maps to
+  // the same seed under any job count or execution order.
+  // Each step folds the *mixed* output back into the state — XORing the
+  // raw (linear) splitmix state instead would let nearby coordinates
+  // cancel and collide.
+  std::uint64_t state = base_seed;
+  state = splitmix64(state) ^ case_index;
+  state = splitmix64(state) ^ speed_index;
+  state = splitmix64(state) ^ (use_rvma ? 0x5256ULL : 0x5244ULL);  // 'RV'/'RD'
+  return splitmix64(state);
+}
+
+MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
+                              net::TopologyKind kind, net::Routing routing,
+                              Bandwidth bw, bool use_rvma, std::uint64_t seed,
+                              Tracer* trace_sink) {
+  net::NetworkConfig cfg;
+  cfg.topology = kind;
+  cfg.routing = routing;
+  cfg.nodes_hint = bench.nodes;
+  cfg.link.bw = bw;
+  cfg.link.latency = 100 * kNanosecond;
+  cfg.switch_latency = 100 * kNanosecond;
+  cfg.xbar_factor = 1.5;  // crossbar always 50% above link bw (paper §V-B1)
+  cfg.seed = seed;
+
+  nic::Cluster cluster(cfg, nic::NicParams{});
+  if (trace_sink != nullptr) cluster.engine().set_tracer(trace_sink);
+  auto programs = bench.build(bench.nodes);
+  MotifResult result;
+  if (use_rvma) {
+    RvmaTransport transport(cluster, core::RvmaParams{});
+    result = MotifRunner(cluster, transport, std::move(programs)).run();
+  } else {
+    RdmaTransport transport(cluster, rdma::RdmaParams{},
+                            routing == net::Routing::kStatic, bench.rdma_slots);
+    result = MotifRunner(cluster, transport, std::move(programs)).run();
+  }
+
+  const net::FabricStats& fabric = cluster.network().fabric().stats();
+  MotifRunOutput out;
+  out.makespan = result.makespan;
+  out.packets_injected = fabric.packets_injected;
+  out.packets_delivered = fabric.packets_delivered;
+  out.route_cache_hits = fabric.route_cache_hits;
+  out.engine_events = result.engine_events;
+  out.trace_events =
+      trace_sink != nullptr ? trace_sink->events_written() : 0;
+  return out;
+}
+
+std::vector<MotifCell> run_motif_grid(const MotifBenchConfig& bench,
+                                      const std::vector<TopoCase>& cases,
+                                      int jobs) {
+  const std::size_t speeds = bench.gbps.size();
+  const std::size_t runs = cases.size() * speeds * 2;
+  // Run index -> (case, speed, protocol) in row-major grid order; the
+  // executor may finish them in any order, sweep_map restores this one.
+  auto outputs = exec::sweep_map<MotifRunOutput>(
+      jobs, runs, [&](std::size_t i) {
+        const std::size_t case_index = i / (speeds * 2);
+        const std::size_t speed_index = (i / 2) % speeds;
+        const bool use_rvma = (i % 2) != 0;
+        const TopoCase& tc = cases[case_index];
+        return run_motif_once(
+            bench, tc.kind, tc.routing, Bandwidth::gbps(bench.gbps[speed_index]),
+            use_rvma,
+            derive_run_seed(bench.seed, case_index, speed_index, use_rvma));
+      });
+
+  std::vector<MotifCell> cells(cases.size() * speeds);
+  for (std::size_t i = 0; i < runs; i += 2) {
+    cells[i / 2].rdma = outputs[i];
+    cells[i / 2].rvma = outputs[i + 1];
+  }
+  return cells;
+}
+
+namespace {
+
+void write_grid_json(const std::string& path, const MotifBenchConfig& bench,
+                     const std::vector<TopoCase>& cases,
+                     const std::vector<MotifCell>& cells, int jobs,
+                     double wall_seconds, double serial_wall_seconds) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"figure\": \"%s\",\n"
+               "  \"motif\": \"%s\",\n"
+               "  \"nodes\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"jobs\": %d,\n"
+               "  \"host_cores\": %d,\n"
+               "  \"wall_seconds\": %.3f,\n",
+               bench.figure, bench.motif, bench.nodes,
+               static_cast<unsigned long long>(bench.seed), jobs,
+               exec::hardware_jobs(), wall_seconds);
+  if (serial_wall_seconds > 0.0) {
+    std::fprintf(out, "  \"speedup_vs_serial\": %.2f,\n",
+                 serial_wall_seconds / wall_seconds);
+  }
+  std::fprintf(out, "  \"cells\": [\n");
+  const std::size_t speeds = bench.gbps.size();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const MotifCell& cell = cells[i];
+    std::fprintf(
+        out,
+        "    {\"case\": \"%s\", \"gbps\": %g, \"rdma_ms\": %.6f, "
+        "\"rvma_ms\": %.6f, \"speedup\": %.4f, \"packets\": %llu}%s\n",
+        cases[i / speeds].name, bench.gbps[i % speeds], to_ms(cell.rdma.makespan),
+        to_ms(cell.rvma.makespan), cell.speedup(),
+        static_cast<unsigned long long>(cell.rdma.packets_delivered +
+                                        cell.rvma.packets_delivered),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+}  // namespace
+
+int run_motif_figure(MotifBenchConfig bench, int argc, char** argv) {
+  Cli cli(argc, argv);
+  bench.nodes = static_cast<int>(cli.get_int("nodes", bench.nodes));
+  bench.rdma_slots =
+      static_cast<int>(cli.get_int("rdma-slots", bench.rdma_slots));
+  bench.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(bench.seed)));
+  const bool quick = cli.get_bool("quick", false);
+  const int jobs = static_cast<int>(cli.get_int("jobs", 0));
+  const std::string json_path = cli.get("json", "");
+  // Serial-run wall-clock handed in by tools/run_bench.sh so the parallel
+  // run can report its speedup over the serial baseline.
+  const double serial_wall_s = cli.get_double("serial-wall-s", 0.0);
+  for (const auto& key : cli.unconsumed()) {
+    std::fprintf(stderr, "unknown option --%s\n", key.c_str());
+    return 2;
+  }
+  if (quick) bench.gbps = {100, 2000};
+
+  const std::vector<TopoCase>& cases = figure_topo_cases();
+  const int effective_jobs = jobs <= 0 ? exec::hardware_jobs() : jobs;
+
+  std::printf("%s: %s motif, RVMA vs RDMA across topologies, routing, and "
+              "link speeds (%d ranks)\n",
+              bench.figure, bench.motif, bench.nodes);
+  std::printf("crossbar = 1.5x link bw, PCIe 150 ns (paper model "
+              "parameters); seed %llu\n\n",
+              static_cast<unsigned long long>(bench.seed));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<MotifCell> cells = run_motif_grid(bench, cases, jobs);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::vector<std::string> headers = {"topology-routing"};
+  for (double g : bench.gbps) {
+    headers.push_back(format_bandwidth(Bandwidth::gbps(g)) + " rdma");
+    headers.push_back("rvma");
+    headers.push_back("speedup");
+  }
+  Table table(headers);
+
+  RunningStat all_speedups;
+  double best = 0.0;
+  std::string best_case;
+  const std::size_t speeds = bench.gbps.size();
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    std::vector<std::string> row = {cases[ci].name};
+    for (std::size_t si = 0; si < speeds; ++si) {
+      const MotifCell& cell = cells[ci * speeds + si];
+      const double speedup = cell.speedup();
+      all_speedups.add(speedup);
+      if (speedup > best) {
+        best = speedup;
+        best_case = std::string(cases[ci].name) + " @ " +
+                    format_bandwidth(Bandwidth::gbps(bench.gbps[si]));
+      }
+      row.push_back(Table::num(to_ms(cell.rdma.makespan), 3) + " ms");
+      row.push_back(Table::num(to_ms(cell.rvma.makespan), 3) + " ms");
+      row.push_back(Table::num(speedup, 2) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\naverage RVMA speedup across all topologies/speeds: %.2fx\n",
+              all_speedups.mean());
+  std::printf("best case: %.2fx (%s)\n", best, best_case.c_str());
+  std::printf("min speedup: %.2fx\n", all_speedups.min());
+  std::printf("grid wall-clock: %.2f s (jobs=%d, host cores=%d)\n",
+              wall_seconds, effective_jobs, exec::hardware_jobs());
+  if (serial_wall_s > 0.0) {
+    std::printf("speedup vs serial sweep: %.2fx (serial %.2f s)\n",
+                serial_wall_s / wall_seconds, serial_wall_s);
+  }
+  if (!json_path.empty()) {
+    write_grid_json(json_path, bench, cases, cells, effective_jobs,
+                    wall_seconds, serial_wall_s);
+  }
+  return 0;
+}
+
+}  // namespace rvma::motifs

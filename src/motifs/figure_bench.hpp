@@ -1,0 +1,103 @@
+// Shared driver for the Figure 7 / Figure 8 motif grids: one motif over
+// every (topology, routing, link speed) x (RDMA, RVMA) combination.
+//
+// Each grid cell is an independent simulation with its own
+// Cluster/Engine, seeded from its grid coordinates — so the grid can run
+// serially or across all cores (exec::SweepExecutor) with bit-identical
+// results, printed in deterministic grid order either way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "motifs/runner.hpp"
+#include "net/topology.hpp"
+
+namespace rvma::motifs {
+
+struct MotifBenchConfig {
+  const char* figure = "";
+  const char* motif = "";
+  int nodes = 64;
+  /// RDMA credit-pipeline depth (registered slots per channel). 2 =
+  /// double buffering, the standard tuned-RDMA practice; the remaining
+  /// RDMA penalty is then the fixed-latency coordination traffic.
+  int rdma_slots = 2;
+  /// Builds the per-rank programs for a cluster of exactly `nodes` ranks.
+  /// Must be pure (no shared mutable state): parallel grid runs invoke it
+  /// concurrently from several worker threads.
+  std::function<std::vector<RankProgram>(int nodes)> build;
+  std::vector<double> gbps = {100, 200, 400, 2000};
+  /// Base experiment seed (--seed); per-run seeds derive from it and the
+  /// run's grid coordinates via derive_run_seed().
+  std::uint64_t seed = 2021;
+};
+
+/// One (topology, routing) row of the paper's Figure 7/8 grids.
+struct TopoCase {
+  const char* name;
+  net::TopologyKind kind;
+  net::Routing routing;
+};
+
+/// The eight (topology, routing) rows the paper evaluates.
+const std::vector<TopoCase>& figure_topo_cases();
+
+/// Seed for one grid run, derived from the base seed and the run's grid
+/// coordinates. Stable across job counts and execution orders — the heart
+/// of the parallel sweep's determinism contract.
+std::uint64_t derive_run_seed(std::uint64_t base_seed,
+                              std::uint64_t case_index,
+                              std::uint64_t speed_index, bool use_rvma);
+
+/// Everything observable from one motif simulation, for table printing
+/// and for the jobs=N vs jobs=1 determinism checks.
+struct MotifRunOutput {
+  Time makespan = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t route_cache_hits = 0;
+  std::uint64_t engine_events = 0;
+  /// Events recorded into the per-run sink; 0 when the run used the
+  /// process-default sink (per-run attribution impossible there).
+  std::uint64_t trace_events = 0;
+
+  bool operator==(const MotifRunOutput&) const = default;
+};
+
+/// Run one (topology, routing, bandwidth, protocol) cell half. When
+/// `trace_sink` is non-null it becomes the run's engine sink (per-run
+/// isolation); null keeps the process default (Tracer::global()).
+MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
+                              net::TopologyKind kind, net::Routing routing,
+                              Bandwidth bw, bool use_rvma, std::uint64_t seed,
+                              Tracer* trace_sink = nullptr);
+
+struct MotifCell {
+  MotifRunOutput rdma;
+  MotifRunOutput rvma;
+  double speedup() const {
+    return rvma.makespan == 0
+               ? 0.0
+               : static_cast<double>(rdma.makespan) /
+                     static_cast<double>(rvma.makespan);
+  }
+  bool operator==(const MotifCell&) const = default;
+};
+
+/// Run the whole grid — cases x bench.gbps x {RDMA, RVMA} — with `jobs`
+/// workers (<= 0: all cores; 1: inline serial). Cells come back in grid
+/// order (row-major: case, then speed) regardless of completion order.
+std::vector<MotifCell> run_motif_grid(const MotifBenchConfig& bench,
+                                      const std::vector<TopoCase>& cases,
+                                      int jobs);
+
+/// CLI driver shared by fig7_sweep3d / fig8_halo3d: parses --nodes,
+/// --rdma-slots, --quick, --jobs, --seed, --json, --serial-wall-s; runs
+/// the grid and prints the table plus a wall-clock footer.
+int run_motif_figure(MotifBenchConfig bench, int argc, char** argv);
+
+}  // namespace rvma::motifs

@@ -50,6 +50,12 @@ void Fabric::set_delivery(NodeId node, Delivery fn) {
   node_attach_[node].delivery = std::move(fn);
 }
 
+void Fabric::set_static_routes(std::vector<std::int32_t> table) {
+  assert(table.empty() ||
+         table.size() == switches_.size() * node_attach_.size());
+  static_routes_ = std::move(table);
+}
+
 Time Fabric::port_backlog(int sw, int port) const {
   const Time busy = switches_[sw].ports[port].busy_until;
   const Time now = engine_.now();
@@ -85,12 +91,12 @@ void Fabric::inject(Packet&& pkt) {
   }
   ++stats_.packets_injected;
   pkt.injected_at = engine_.now();
-  trace_event(engine_.now(), "pkt_inject",
-              {{"src", pkt.src},
-               {"dst", pkt.dst},
-               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-               {"seq", pkt.seq},
-               {"bytes", pkt.bytes}});
+  engine_.trace("pkt_inject",
+                {{"src", pkt.src},
+                 {"dst", pkt.dst},
+                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+                 {"seq", pkt.seq},
+                 {"bytes", pkt.bytes}});
 
   NodeAttach& at = node_attach_[pkt.src];
   Port& inj = at.injection;
@@ -127,12 +133,12 @@ void Fabric::inject_burst(std::vector<Packet>&& pkts) {
   for (Packet& pkt : pkts) {
     ++stats_.packets_injected;
     pkt.injected_at = engine_.now();
-    trace_event(engine_.now(), "pkt_inject",
-                {{"src", pkt.src},
-                 {"dst", pkt.dst},
-                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-                 {"seq", pkt.seq},
-                 {"bytes", pkt.bytes}});
+    engine_.trace("pkt_inject",
+                  {{"src", pkt.src},
+                   {"dst", pkt.dst},
+                   {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+                   {"seq", pkt.seq},
+                   {"bytes", pkt.bytes}});
     const std::uint64_t wire = pkt.wire_bytes();
     const Time start = std::max(engine_.now(), inj.busy_until);
     const Time finish = start + inj.link.bw.serialize(wire);
@@ -172,6 +178,13 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   const NodeAttach& dst_at = node_attach_[pkt.dst];
   if (dst_at.sw == sw) {
     port = dst_at.port;  // ejection to the destination node
+  } else if (!static_routes_.empty()) {
+    // Deterministic routing: one flat-array load instead of a
+    // std::function call into the topology's route logic per hop.
+    port = static_routes_[static_cast<std::size_t>(sw) * node_attach_.size() +
+                          static_cast<std::size_t>(pkt.dst)];
+    ++stats_.route_cache_hits;
+    assert(port >= 0 && port < static_cast<int>(s.ports.size()));
   } else {
     port = router_(sw, pkt);
     assert(port >= 0 && port < static_cast<int>(s.ports.size()));
@@ -209,14 +222,14 @@ void Fabric::deliver(NodeId node, Packet&& pkt) {
   ++stats_.packets_delivered;
   stats_.total_hops += pkt.hops;
   stats_.wire_bytes_delivered += pkt.wire_bytes();
-  trace_event(engine_.now(), "pkt_deliver",
-              {{"src", pkt.src},
-               {"dst", pkt.dst},
-               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-               {"seq", pkt.seq},
-               {"hops", pkt.hops},
-               {"lat_ps", static_cast<std::int64_t>(engine_.now() -
-                                                    pkt.injected_at)}});
+  engine_.trace("pkt_deliver",
+                {{"src", pkt.src},
+                 {"dst", pkt.dst},
+                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+                 {"seq", pkt.seq},
+                 {"hops", pkt.hops},
+                 {"lat_ps", static_cast<std::int64_t>(engine_.now() -
+                                                      pkt.injected_at)}});
   NodeAttach& at = node_attach_[node];
   assert(at.delivery && "packet delivered to node without a NIC");
   at.delivery(std::move(pkt));

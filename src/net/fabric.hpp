@@ -44,6 +44,9 @@ struct FabricStats {
   std::uint64_t total_hops = 0;
   std::uint64_t wire_bytes_delivered = 0;
   std::uint64_t packets_dropped_dead_node = 0;  ///< failure injection
+  /// Transit hops resolved from the precomputed static next-hop table
+  /// instead of the routing callback (static routing only).
+  std::uint64_t route_cache_hits = 0;
   Time max_port_backlog = 0;  ///< worst output-queue depth seen (in time)
 };
 
@@ -67,6 +70,16 @@ class Fabric {
 
   void set_delivery(NodeId node, Delivery fn);
   void set_router(Router fn) { router_ = std::move(fn); }
+
+  /// Install the precomputed next-hop table for deterministic routing:
+  /// entry [sw * num_attached_nodes() + dst] is the output port at `sw`
+  /// for a transit packet to node `dst` (ejection switches excluded — the
+  /// fabric takes the ejection path before consulting routing). While a
+  /// table is installed, transit hops bypass the router_ std::function
+  /// call entirely; adaptive routing never installs one. Built by
+  /// Network after wiring (see Network ctor).
+  void set_static_routes(std::vector<std::int32_t> table);
+  bool has_static_routes() const { return !static_routes_.empty(); }
 
   /// Inject a packet from its source node's injection link.
   void inject(Packet&& pkt);
@@ -135,6 +148,9 @@ class Fabric {
   std::vector<Switch> switches_;
   std::vector<NodeAttach> node_attach_;
   Router router_;
+  /// Flat (switch, dst) -> port table for static routing; empty when the
+  /// routing mode is adaptive (per-packet router_ calls).
+  std::vector<std::int32_t> static_routes_;
   FabricStats stats_;
 };
 

@@ -48,6 +48,28 @@ Network::Network(sim::Engine& engine, const NetworkConfig& config)
     return topology_->route(fabric_, sw, const_cast<Packet&>(pkt),
                             config_.routing, rng_);
   });
+  if (config_.routing == Routing::kStatic) {
+    // Static routes depend only on (switch, dst) — every topology's
+    // static mode is deterministic and consults neither the RNG nor
+    // per-packet state — so precompute the whole next-hop table once and
+    // spare the per-hop std::function dispatch (see Fabric::set_static_routes).
+    const int switches = fabric_.num_switches();
+    const int nodes = num_nodes();
+    std::vector<std::int32_t> table(
+        static_cast<std::size_t>(switches) * static_cast<std::size_t>(nodes),
+        -1);
+    Packet probe;
+    for (NodeId dst = 0; dst < nodes; ++dst) {
+      probe.dst = dst;
+      const int dst_sw = fabric_.switch_of_node(dst);
+      for (int sw = 0; sw < switches; ++sw) {
+        if (sw == dst_sw) continue;  // ejection handled before routing
+        table[static_cast<std::size_t>(sw) * nodes + dst] = topology_->route(
+            fabric_, sw, probe, Routing::kStatic, rng_);
+      }
+    }
+    fabric_.set_static_routes(std::move(table));
+  }
 }
 
 }  // namespace rvma::net

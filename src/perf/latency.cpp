@@ -207,17 +207,17 @@ LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
 }
 
 Time measure_one_put(const SystemProfile& profile, Mode mode,
-                     std::uint64_t bytes) {
+                     std::uint64_t bytes, std::uint64_t seed) {
   std::vector<Time> samples;
   switch (mode) {
     case Mode::kRvma:
-      samples = run_rvma(profile, profile.nic, bytes, 1, 1);
+      samples = run_rvma(profile, profile.nic, bytes, 1, seed);
       break;
     case Mode::kRdmaStatic:
-      samples = run_rdma(profile, profile.nic, false, bytes, 1, 1);
+      samples = run_rdma(profile, profile.nic, false, bytes, 1, seed);
       break;
     case Mode::kRdmaAdaptive:
-      samples = run_rdma(profile, profile.nic, true, bytes, 1, 1);
+      samples = run_rdma(profile, profile.nic, true, bytes, 1, seed);
       break;
   }
   assert(samples.size() == 1);

@@ -39,7 +39,7 @@ LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
 /// Exact one-way latency of a single put with no run-to-run jitter — the
 /// validation hook compared against the analytic pipeline model.
 Time measure_one_put(const SystemProfile& profile, Mode mode,
-                     std::uint64_t bytes);
+                     std::uint64_t bytes, std::uint64_t seed = 1);
 
 /// RDMA buffer setup cost: the full negotiation (request, target-side
 /// allocation + registration, reply) for a region of `bytes`, measured by

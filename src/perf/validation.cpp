@@ -77,30 +77,35 @@ Time predict_put_latency(const SystemProfile& profile, Mode mode,
 }
 
 Time measure_put_latency_exact(const SystemProfile& profile, Mode mode,
-                               std::uint64_t bytes) {
-  return measure_one_put(profile, mode, bytes);
+                               std::uint64_t bytes, std::uint64_t seed) {
+  return measure_one_put(profile, mode, bytes, seed);
 }
 
 double effective_bandwidth_gbps(const SystemProfile& profile, Mode mode,
-                                std::uint64_t bytes) {
-  const Time latency = measure_one_put(profile, mode, bytes);
+                                std::uint64_t bytes, std::uint64_t seed) {
+  const Time latency = measure_one_put(profile, mode, bytes, seed);
   if (latency == 0) return 0.0;
   const double seconds =
       static_cast<double>(latency) / static_cast<double>(kSecond);
   return static_cast<double>(bytes) * 8.0 / seconds / 1e9;
 }
 
+ValidationRow validate_point(const SystemProfile& profile, Mode mode,
+                             std::uint64_t bytes, std::uint64_t seed) {
+  ValidationRow row;
+  row.bytes = bytes;
+  row.predicted = predict_put_latency(profile, mode, bytes);
+  row.simulated = measure_put_latency_exact(profile, mode, bytes, seed);
+  return row;
+}
+
 std::vector<ValidationRow> validate_mode(
     const SystemProfile& profile, Mode mode,
-    const std::vector<std::uint64_t>& sizes) {
+    const std::vector<std::uint64_t>& sizes, std::uint64_t seed) {
   std::vector<ValidationRow> rows;
   rows.reserve(sizes.size());
   for (const std::uint64_t bytes : sizes) {
-    ValidationRow row;
-    row.bytes = bytes;
-    row.predicted = predict_put_latency(profile, mode, bytes);
-    row.simulated = measure_put_latency_exact(profile, mode, bytes);
-    rows.push_back(row);
+    rows.push_back(validate_point(profile, mode, bytes, seed));
   }
   return rows;
 }

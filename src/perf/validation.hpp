@@ -25,14 +25,16 @@ Time predict_put_latency(const SystemProfile& profile, Mode mode,
                          std::uint64_t bytes);
 
 /// Measured one-way latency with run-to-run jitter disabled (single run),
-/// suitable for exact comparison against predict_put_latency.
+/// suitable for exact comparison against predict_put_latency. `seed`
+/// feeds the network RNG; the two-node star is routing-deterministic, so
+/// it must not change the result (validation asserts exactness anyway).
 Time measure_put_latency_exact(const SystemProfile& profile, Mode mode,
-                               std::uint64_t bytes);
+                               std::uint64_t bytes, std::uint64_t seed = 1);
 
 /// Effective bandwidth (payload bits per second of one-way latency) for a
 /// large transfer; should approach the link rate as size grows.
 double effective_bandwidth_gbps(const SystemProfile& profile, Mode mode,
-                                std::uint64_t bytes);
+                                std::uint64_t bytes, std::uint64_t seed = 1);
 
 struct ValidationRow {
   std::uint64_t bytes = 0;
@@ -49,6 +51,12 @@ struct ValidationRow {
 /// Run the full validation sweep for one mode.
 std::vector<ValidationRow> validate_mode(const SystemProfile& profile,
                                          Mode mode,
-                                         const std::vector<std::uint64_t>& sizes);
+                                         const std::vector<std::uint64_t>& sizes,
+                                         std::uint64_t seed = 1);
+
+/// One validation point (analytic prediction + one simulation) — the unit
+/// of work the parallel validation sweep fans out.
+ValidationRow validate_point(const SystemProfile& profile, Mode mode,
+                             std::uint64_t bytes, std::uint64_t seed = 1);
 
 }  // namespace rvma::perf

@@ -15,9 +15,12 @@
 
 #include <cassert>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "common/units.hpp"
 #include "sim/callback.hpp"
 
@@ -33,6 +36,22 @@ class Engine {
 
   /// Current simulated time.
   Time now() const { return now_; }
+
+  /// Trace sink for everything simulated on this engine. Defaults to the
+  /// process-wide Tracer::global() so single-run binaries keep the
+  /// RVMA_TRACE behavior; concurrent runs (SweepExecutor jobs) give each
+  /// engine its own sink — or nullptr to disable — so no unsynchronized
+  /// shared state remains on the event hot path.
+  Tracer* tracer() const { return tracer_; }
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Record a trace event at now() into this engine's sink, if enabled.
+  void trace(std::string_view event,
+             std::initializer_list<Tracer::Field> fields) {
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->record(now_, event, fields);
+    }
+  }
 
   /// Schedule `fn` to run at absolute time `t` (must be >= now()).
   /// Templated so the callable is constructed directly in its event slot —
@@ -168,6 +187,7 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  Tracer* tracer_ = &Tracer::global();
 };
 
 }  // namespace rvma::sim

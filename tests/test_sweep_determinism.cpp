@@ -1,0 +1,126 @@
+// Parallel-sweep determinism: the whole point of the SweepExecutor is
+// that running the figure grids with jobs=N produces bit-identical
+// results to jobs=1. These tests pin that contract on a mini Figure-8
+// style grid, on the per-run trace sinks, and on the seed derivation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "motifs/figure_bench.hpp"
+#include "motifs/halo3d.hpp"
+
+namespace rvma::motifs {
+namespace {
+
+MotifBenchConfig mini_bench() {
+  MotifBenchConfig bench;
+  bench.figure = "test";
+  bench.motif = "Halo3D";
+  bench.nodes = 8;
+  bench.gbps = {100, 400};
+  bench.build = [](int nodes) {
+    Halo3DConfig cfg;
+    const int p =
+        std::max(1, static_cast<int>(std::cbrt(static_cast<double>(nodes))));
+    cfg.px = p;
+    cfg.py = p;
+    cfg.pz = std::max(1, nodes / (p * p));
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.vars = 2;
+    cfg.iterations = 2;
+    cfg.compute_per_cell = 50 * kPicosecond;
+    return build_halo3d(cfg);
+  };
+  return bench;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SweepDeterminism, ParallelGridMatchesSerial) {
+  const MotifBenchConfig bench = mini_bench();
+  // First three rows of the figure grid keep the test under a second
+  // while still covering torus, fat-tree, and adaptive routing.
+  std::vector<TopoCase> cases(figure_topo_cases().begin(),
+                              figure_topo_cases().begin() + 3);
+
+  const std::vector<MotifCell> serial = run_motif_grid(bench, cases, 1);
+  const std::vector<MotifCell> parallel = run_motif_grid(bench, cases, 4);
+
+  ASSERT_EQ(serial.size(), cases.size() * bench.gbps.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+    EXPECT_GT(serial[i].rdma.makespan, 0) << "cell " << i;
+    EXPECT_GT(serial[i].rvma.makespan, 0) << "cell " << i;
+    EXPECT_GT(serial[i].rdma.packets_delivered, 0u) << "cell " << i;
+  }
+}
+
+TEST(SweepDeterminism, PerRunTraceSinksAreReproducible) {
+  const MotifBenchConfig bench = mini_bench();
+  const std::string path_a = ::testing::TempDir() + "sweep_det_a.jsonl";
+  const std::string path_b = ::testing::TempDir() + "sweep_det_b.jsonl";
+  const std::uint64_t seed = derive_run_seed(bench.seed, 0, 0, true);
+
+  Tracer sink_a, sink_b;
+  ASSERT_TRUE(sink_a.open(path_a));
+  ASSERT_TRUE(sink_b.open(path_b));
+  const MotifRunOutput a =
+      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
+                     Bandwidth::gbps(100), true, seed, &sink_a);
+  const MotifRunOutput b =
+      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
+                     Bandwidth::gbps(100), true, seed, &sink_b);
+  sink_a.close();
+  sink_b.close();
+
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.trace_events, 0u);  // RVMA completions are traced
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  const std::string bytes_a = read_file(path_a);
+  EXPECT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, read_file(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(SweepDeterminism, StaticRoutingUsesNextHopCache) {
+  const MotifBenchConfig bench = mini_bench();
+  const MotifRunOutput cached =
+      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
+                     Bandwidth::gbps(100), true, 1);
+  EXPECT_GT(cached.route_cache_hits, 0u);
+
+  const MotifRunOutput adaptive = run_motif_once(
+      bench, net::TopologyKind::kTorus3D, net::Routing::kAdaptive,
+      Bandwidth::gbps(100), true, 1);
+  EXPECT_EQ(adaptive.route_cache_hits, 0u);
+}
+
+TEST(SweepDeterminism, RunSeedsAreStableAndDistinct) {
+  const std::uint64_t base = 2021;
+  EXPECT_EQ(derive_run_seed(base, 3, 1, true), derive_run_seed(base, 3, 1, true));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t c = 0; c < 8; ++c) {
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      seeds.insert(derive_run_seed(base, c, s, false));
+      seeds.insert(derive_run_seed(base, c, s, true));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 8u * 4u * 2u);  // no collisions across the grid
+  EXPECT_NE(derive_run_seed(base, 0, 0, false), derive_run_seed(base + 1, 0, 0, false));
+}
+
+}  // namespace
+}  // namespace rvma::motifs

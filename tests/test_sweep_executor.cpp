@@ -1,0 +1,145 @@
+// SweepExecutor: worker-pool semantics, result ordering, exception
+// isolation, and the serial-inline edge cases.
+#include "exec/sweep_executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rvma::exec {
+namespace {
+
+TEST(SweepExecutor, HardwareJobsIsPositive) {
+  EXPECT_GE(hardware_jobs(), 1);
+}
+
+TEST(SweepExecutor, DefaultsToHardwareJobs) {
+  EXPECT_EQ(SweepExecutor(0).jobs(), hardware_jobs());
+  EXPECT_EQ(SweepExecutor(-3).jobs(), hardware_jobs());
+  EXPECT_EQ(SweepExecutor(5).jobs(), 5);
+}
+
+TEST(SweepExecutor, ZeroJobsReturnsEmpty) {
+  SweepExecutor executor(4);
+  int calls = 0;
+  auto errors = executor.run(0, [&](std::size_t) { ++calls; });
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SweepExecutor, SingleJobRunsInlineOnCallingThread) {
+  SweepExecutor executor(8);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  auto errors = executor.run(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    seen = std::this_thread::get_id();
+  });
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0], nullptr);
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(SweepExecutor, SerialExecutorRunsInIndexOrder) {
+  SweepExecutor executor(1);
+  std::vector<std::size_t> order;
+  executor.run(16, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SweepExecutor, RunsEveryJobExactlyOnce) {
+  SweepExecutor executor(4);
+  constexpr std::size_t kJobs = 200;
+  std::vector<std::atomic<int>> counts(kJobs);
+  auto errors = executor.run(kJobs, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(errors.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "job " << i;
+    EXPECT_EQ(errors[i], nullptr) << "job " << i;
+  }
+}
+
+TEST(SweepExecutor, MoreJobsThanWork) {
+  SweepExecutor executor(16);
+  std::vector<std::atomic<int>> counts(3);
+  auto errors = executor.run(3, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(errors.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(SweepExecutor, ExceptionIsolation) {
+  SweepExecutor executor(4);
+  constexpr std::size_t kJobs = 64;
+  std::vector<std::atomic<int>> counts(kJobs);
+  auto errors = executor.run(kJobs, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+    if (i % 7 == 3) throw std::runtime_error("job " + std::to_string(i));
+  });
+  ASSERT_EQ(errors.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "job " << i;  // failures don't cancel
+    if (i % 7 == 3) {
+      ASSERT_NE(errors[i], nullptr) << "job " << i;
+      try {
+        std::rethrow_exception(errors[i]);
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), "job " + std::to_string(i));
+      }
+    } else {
+      EXPECT_EQ(errors[i], nullptr) << "job " << i;
+    }
+  }
+}
+
+TEST(SweepMap, ResultsComeBackInIndexOrder) {
+  for (int jobs : {1, 2, 4, 16}) {
+    auto out = sweep_map<std::size_t>(jobs, 100,
+                                      [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(SweepMap, RethrowsLowestIndexFailure) {
+  EXPECT_THROW(
+      {
+        sweep_map<int>(4, 32, [](std::size_t i) -> int {
+          if (i == 9 || i == 21) throw std::runtime_error("boom");
+          return static_cast<int>(i);
+        });
+      },
+      std::runtime_error);
+}
+
+TEST(SweepMap, EmptyGrid) {
+  auto out = sweep_map<int>(4, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SweepExecutor, WorkersActuallyFanOut) {
+  // With enough blocking jobs the pool must use more than one thread.
+  SweepExecutor executor(4);
+  if (executor.jobs() < 2) GTEST_SKIP() << "single-core executor";
+  std::mutex mu;
+  std::set<std::thread::id> threads;
+  executor.run(64, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_GE(threads.size(), 1u);
+  EXPECT_LE(threads.size(), 4u);
+}
+
+}  // namespace
+}  // namespace rvma::exec

@@ -1,6 +1,12 @@
 #!/usr/bin/env sh
-# Build the engine hot-path benchmark in Release mode and run it,
-# writing BENCH_engine.json at the repo root.
+# Build the perf benchmarks in Release mode and run them, writing
+# BENCH_engine.json and BENCH_sweep.json at the repo root.
+#
+# BENCH_sweep.json records the parallel-sweep experiment: fig8_halo3d
+# --quick is run serially (--jobs=1) and then with all host cores, the
+# printed tables are diffed (they must be byte-identical — the sweep
+# executor's determinism contract), and the parallel run's JSON gains a
+# speedup_vs_serial field computed from the serial wall-clock.
 #
 # Usage: tools/run_bench.sh [build-dir]
 set -eu
@@ -9,6 +15,37 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target engine_throughput -j "$(nproc)"
+cmake --build "$build_dir" --target engine_throughput fig8_halo3d -j "$(nproc)"
 
 "$build_dir/bench/engine_throughput" "$repo_root/BENCH_engine.json"
+
+# --- Parallel sweep benchmark -------------------------------------------
+jobs=$(nproc)
+tmp_dir=$(mktemp -d)
+trap 'rm -rf "$tmp_dir"' EXIT
+
+echo "sweep: serial run (--jobs=1)"
+"$build_dir/bench/fig8_halo3d" --quick --jobs=1 \
+  --json="$tmp_dir/serial.json" > "$tmp_dir/serial.txt"
+serial_wall=$(sed -n 's/.*"wall_seconds": \([0-9.]*\).*/\1/p' \
+  "$tmp_dir/serial.json")
+
+echo "sweep: parallel run (--jobs=$jobs)"
+"$build_dir/bench/fig8_halo3d" --quick --jobs="$jobs" \
+  --json="$repo_root/BENCH_sweep.json" \
+  --serial-wall-s="$serial_wall" > "$tmp_dir/parallel.txt"
+
+# The tables must be byte-identical regardless of job count; only the
+# wall-clock/speedup footer lines may differ.
+grep -v '^grid wall-clock\|^speedup vs serial' "$tmp_dir/serial.txt" \
+  > "$tmp_dir/serial_table.txt"
+grep -v '^grid wall-clock\|^speedup vs serial' "$tmp_dir/parallel.txt" \
+  > "$tmp_dir/parallel_table.txt"
+if ! diff -u "$tmp_dir/serial_table.txt" "$tmp_dir/parallel_table.txt"; then
+  echo "ERROR: parallel sweep output differs from serial" >&2
+  exit 1
+fi
+echo "sweep: tables identical at jobs=1 and jobs=$jobs"
+
+cat "$tmp_dir/parallel.txt"
+echo "wrote $repo_root/BENCH_sweep.json"

@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Build the concurrency-sensitive tests under ThreadSanitizer and run
+# them. Any reported data race fails the script (TSan exits non-zero).
+#
+# Covers the parallel sweep machinery: the SweepExecutor pool itself,
+# the jobs=N vs jobs=1 grid determinism (which exercises concurrent
+# Cluster/Engine runs and per-run trace sinks), and the fabric tests
+# (static next-hop cache).
+#
+# Usage: tools/run_tsan.sh [build-dir]
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-tsan"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
+cmake --build "$build_dir" --target \
+  test_sweep_executor test_sweep_determinism test_fabric_features \
+  -j "$(nproc)"
+
+for test in test_sweep_executor test_sweep_determinism test_fabric_features
+do
+  echo "== tsan: $test =="
+  "$build_dir/tests/$test"
+done
+echo "tsan: all clean"
