@@ -131,13 +131,16 @@ int main(int argc, char** argv) {
       const TrialResult& trial = results[r * trials + t];
       premature += trial.premature;
       complete += trial.rvma_complete;
-      rdma_lat.add(trial.rdma_lat_us);
-      rvma_lat.add(trial.rvma_lat_us);
+      // A completion that never fired leaves its latency at 0 — keep it
+      // out of the stat instead of dragging the mean toward zero.
+      if (trial.rdma_lat_us > 0) rdma_lat.add(trial.rdma_lat_us);
+      if (trial.rvma_lat_us > 0) rvma_lat.add(trial.rvma_lat_us);
     }
     table.add_row({std::string(net::to_string(routings[r])),
                    std::to_string(premature) + "/" + std::to_string(trials),
                    std::to_string(complete) + "/" + std::to_string(trials),
-                   Table::num(rdma_lat.mean()), Table::num(rvma_lat.mean())});
+                   Table::stat_num(rdma_lat.count(), rdma_lat.mean()),
+                   Table::stat_num(rvma_lat.count(), rvma_lat.mean())});
   }
   table.print();
   std::printf("\nstatic routing: last-byte polling is safe (0 premature).\n"

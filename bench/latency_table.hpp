@@ -7,6 +7,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/metrics_io.hpp"
 #include "perf/latency.hpp"
 
 namespace rvma::perf {
@@ -23,10 +24,14 @@ inline int run_latency_figure(const SystemProfile& profile, const char* figure,
   const int runs = static_cast<int>(cli.get_int("runs", 10));
   const std::uint64_t seed = cli.get_int("seed", 1);
   const int max_exp = static_cast<int>(cli.get_int("max-exp", 22));
+  const std::string metrics_path = cli.get("metrics", "");
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
   }
+  obs::MetricsSnapshot totals;
+  obs::MetricsSnapshot* metrics_out =
+      metrics_path.empty() ? nullptr : &totals;
 
   std::printf("%s: RVMA vs RDMA one-way put latency (%s)\n", figure,
               profile.name.c_str());
@@ -38,12 +43,12 @@ inline int run_latency_figure(const SystemProfile& profile, const char* figure,
   double best_reduction = 0.0;
   for (int exp = 1; exp <= max_exp; exp += 2) {
     const std::uint64_t bytes = 1ULL << exp;
-    const auto rstat =
-        measure_put_latency(profile, Mode::kRdmaStatic, bytes, iters, runs, seed);
+    const auto rstat = measure_put_latency(profile, Mode::kRdmaStatic, bytes,
+                                           iters, runs, seed, metrics_out);
     const auto radpt = measure_put_latency(profile, Mode::kRdmaAdaptive, bytes,
-                                           iters, runs, seed);
-    const auto rvma =
-        measure_put_latency(profile, Mode::kRvma, bytes, iters, runs, seed);
+                                           iters, runs, seed, metrics_out);
+    const auto rvma = measure_put_latency(profile, Mode::kRvma, bytes, iters,
+                                          runs, seed, metrics_out);
     const double reduction = 1.0 - rvma.mean_us / radpt.mean_us;
     best_reduction = std::max(best_reduction, reduction);
     table.add_row({format_size(bytes), Table::num(rstat.mean_us),
@@ -55,6 +60,18 @@ inline int run_latency_figure(const SystemProfile& profile, const char* figure,
   std::printf("\nmax latency reduction vs spec-compliant adaptive RDMA: "
               "%.1f%%\n",
               best_reduction * 100.0);
+  if (!metrics_path.empty()) {
+    obs::MetricsDoc doc;
+    doc.tool = figure;
+    doc.meta["profile"] = profile.name;
+    doc.meta["iters"] = std::to_string(iters);
+    doc.meta["runs"] = std::to_string(runs);
+    doc.meta["seed"] = std::to_string(seed);
+    doc.meta["max_exp"] = std::to_string(max_exp);
+    doc.totals = std::move(totals);
+    if (!obs::write_metrics_file(doc, metrics_path)) return 1;
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

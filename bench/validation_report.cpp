@@ -15,15 +15,29 @@
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "exec/sweep_executor.hpp"
+#include "obs/metrics_io.hpp"
 #include "perf/validation.hpp"
 
 using namespace rvma;
 using namespace rvma::perf;
 
+namespace {
+
+/// Sweep unit: the validation row plus the run's metrics, carried back
+/// through sweep_map so aggregation happens in grid order on the main
+/// thread (no shared snapshot mutated from workers).
+struct PointResult {
+  ValidationRow row;
+  obs::MetricsSnapshot metrics;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string metrics_path = cli.get("metrics", "");
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -40,12 +54,15 @@ int main(int argc, char** argv) {
   // Flatten (profile, mode, size) row-major so printing below can walk
   // the results grid in order.
   const std::size_t points = profiles.size() * modes.size() * sizes.size();
-  const auto rows = exec::sweep_map<ValidationRow>(
+  const auto results = exec::sweep_map<PointResult>(
       jobs, points, [&](std::size_t i) {
         const std::size_t pi = i / (modes.size() * sizes.size());
         const std::size_t mi = (i / sizes.size()) % modes.size();
         const std::size_t si = i % sizes.size();
-        return validate_point(profiles[pi], modes[mi], sizes[si], seed);
+        PointResult pr;
+        pr.row = validate_point(profiles[pi], modes[mi], sizes[si], seed,
+                                metrics_path.empty() ? nullptr : &pr.metrics);
+        return pr;
       });
 
   int mismatches = 0;
@@ -55,7 +72,7 @@ int main(int argc, char** argv) {
       Table table({"size", "analytic us", "simulated us", "error"});
       for (std::size_t si = 0; si < sizes.size(); ++si) {
         const ValidationRow& row =
-            rows[(pi * modes.size() + mi) * sizes.size() + si];
+            results[(pi * modes.size() + mi) * sizes.size() + si].row;
         if (row.error() != 0.0) ++mismatches;
         table.add_row({format_size(row.bytes),
                        Table::num(to_us(row.predicted), 4),
@@ -86,6 +103,17 @@ int main(int argc, char** argv) {
                     "%"});
   }
   bw.print();
+
+  if (!metrics_path.empty()) {
+    obs::MetricsDoc doc;
+    doc.tool = "validation_report";
+    doc.meta["seed"] = std::to_string(seed);
+    doc.meta["points"] = std::to_string(points);
+    // Grid order, same as the tables above — byte-identical at any --jobs.
+    for (const PointResult& pr : results) doc.totals.merge(pr.metrics);
+    if (!obs::write_metrics_file(doc, metrics_path)) return 1;
+    std::printf("metrics written to %s\n", metrics_path.c_str());
+  }
 
   std::printf("\nvalidation %s: %d mismatching points\n",
               mismatches == 0 ? "PASSED" : "FAILED", mismatches);

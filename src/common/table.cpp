@@ -11,6 +11,10 @@ std::string Table::num(double v, int precision) {
   return buf;
 }
 
+std::string Table::stat_num(std::uint64_t count, double v, int precision) {
+  return count == 0 ? "-" : num(v, precision);
+}
+
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(headers_.size(), 0);
   for (std::size_t c = 0; c < headers_.size(); ++c) {

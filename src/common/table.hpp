@@ -4,6 +4,7 @@
 // output aligned and diff-able (EXPERIMENTS.md copies rows verbatim).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +28,11 @@ class Table {
   std::string to_string() const;
 
   static std::string num(double v, int precision = 2);
+
+  /// num(v), except an empty statistic (count == 0) renders as "-" —
+  /// RunningStat::min()/max() return 0.0 when empty, and printing that 0
+  /// as a real measurement is misleading.
+  static std::string stat_num(std::uint64_t count, double v, int precision = 2);
 
  private:
   std::vector<std::string> headers_;

@@ -28,6 +28,11 @@ void Tracer::close() {
 
 void Tracer::record(Time now, std::string_view event,
                     std::initializer_list<Field> fields) {
+  record(now, event, -1, fields);
+}
+
+void Tracer::record(Time now, std::string_view event, std::int64_t eng,
+                    std::initializer_list<Field> fields) {
   if (file_ == nullptr) return;
   // Format the whole line locally and emit it with one fwrite: FILE*
   // writes are locked, so lines from concurrent engines sharing this sink
@@ -36,13 +41,23 @@ void Tracer::record(Time now, std::string_view event,
   int len = std::snprintf(buf, sizeof(buf), "{\"t\":%llu,\"ev\":\"%.*s\"",
                           static_cast<unsigned long long>(now),
                           static_cast<int>(event.size()), event.data());
+  if (eng >= 0 && len < static_cast<int>(sizeof(buf))) {
+    const int n = std::snprintf(buf + len, sizeof(buf) - len, ",\"eng\":%lld",
+                                static_cast<long long>(eng));
+    if (n > 0) len += n;
+  }
   for (const Field& field : fields) {
     if (len >= static_cast<int>(sizeof(buf))) break;
-    const int n = std::snprintf(buf + len, sizeof(buf) - len,
-                                ",\"%.*s\":%lld",
-                                static_cast<int>(field.key.size()),
-                                field.key.data(),
-                                static_cast<long long>(field.value));
+    int n;
+    if (field.is_string) {
+      n = std::snprintf(buf + len, sizeof(buf) - len, ",\"%.*s\":\"%.*s\"",
+                        static_cast<int>(field.key.size()), field.key.data(),
+                        static_cast<int>(field.str.size()), field.str.data());
+    } else {
+      n = std::snprintf(buf + len, sizeof(buf) - len, ",\"%.*s\":%lld",
+                        static_cast<int>(field.key.size()), field.key.data(),
+                        static_cast<long long>(field.value));
+    }
     if (n < 0) break;
     len += n;
   }

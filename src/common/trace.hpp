@@ -27,10 +27,22 @@ namespace rvma {
 
 class Tracer {
  public:
-  /// A single numeric field of a trace event.
+  /// A single field of a trace event: integer or string valued.
+  ///
+  /// Overload resolution keeps call sites unambiguous: integer literals
+  /// reach the int64 constructor via a standard conversion, while string
+  /// literals reach the string_view one via its converting constructor
+  /// (there is deliberately no const char* overload — `Field{"k", 0}`
+  /// must stay numeric).
   struct Field {
     std::string_view key;
-    std::int64_t value;
+    std::int64_t value = 0;
+    std::string_view str;  ///< valid when is_string
+    bool is_string = false;
+
+    Field(std::string_view k, std::int64_t v) : key(k), value(v) {}
+    Field(std::string_view k, std::string_view s)
+        : key(k), str(s), is_string(true) {}
   };
 
   Tracer() = default;
@@ -46,7 +58,16 @@ class Tracer {
   bool enabled() const { return file_ != nullptr; }
 
   /// Emit {"t":<ps>,"ev":"<event>",<fields...>} as one atomic write.
+  /// String field values must not contain quotes, backslashes, or control
+  /// characters (they are emitted verbatim) — use short identifiers.
   void record(Time now, std::string_view event,
+              std::initializer_list<Field> fields);
+
+  /// Same, stamping an "eng" field right after "ev" so analyses can group
+  /// records per engine when several engines share one sink (a serial
+  /// sweep writing through the global tracer). eng < 0 omits the field,
+  /// keeping single-engine traces byte-compatible with the 3-arg form.
+  void record(Time now, std::string_view event, std::int64_t eng,
               std::initializer_list<Field> fields);
 
   std::uint64_t events_written() const {

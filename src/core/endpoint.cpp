@@ -46,6 +46,26 @@ RvmaEndpoint::RvmaEndpoint(nic::Nic& nic, const RvmaParams& params,
       params_(params),
       pid_(pid),
       counters_(params.nic_counters) {
+  obs::MetricsRegistry& m = nic_.metrics();
+  c_puts_ = &m.counter("rvma.puts_received");
+  c_packets_ = &m.counter("rvma.packets_received");
+  c_bytes_ = &m.counter("rvma.bytes_received");
+  c_completions_ = &m.counter("rvma.completions");
+  c_soft_completions_ = &m.counter("rvma.soft_completions");
+  c_nacks_sent_ = &m.counter("rvma.nacks_sent");
+  c_nacks_received_ = &m.counter("rvma.nacks_received");
+  c_drops_no_mailbox_ = &m.counter("rvma.drops_no_mailbox");
+  c_drops_closed_ = &m.counter("rvma.drops_closed");
+  c_drops_no_buffer_ = &m.counter("rvma.drops_no_buffer");
+  c_drops_overflow_ = &m.counter("rvma.drops_overflow");
+  c_drops_bad_key_ = &m.counter("rvma.drops_bad_key");
+  c_catch_all_ = &m.counter("rvma.catch_all_packets");
+  c_host_counter_packets_ = &m.counter("rvma.host_counter_packets");
+  c_buffers_posted_ = &m.counter("rvma.buffers_posted");
+  c_buffers_retired_ = &m.counter("rvma.buffers_retired");
+  c_counters_acquired_ = &m.counter("rvma.nic_counters_acquired");
+  c_counters_released_ = &m.counter("rvma.nic_counters_released");
+  h_completion_latency_ns_ = &m.histogram("rvma.completion_latency_ns");
   nic_.register_proto(
       nic::kProtoRvma,
       [this](const net::Packet& pkt) { handle_packet(pkt); }, pid_);
@@ -80,8 +100,9 @@ Status RvmaEndpoint::post_buffer(std::uint64_t vaddr,
   buf.notif_ptr = notif_ptr;
   buf.len_ptr = len_ptr;
   const Status st = mb.post(buf);
-  if (ok(st) && mb.posted_count() == 1) {
-    assign_counter(mb.active());
+  if (ok(st)) {
+    c_buffers_posted_->inc();
+    if (mb.posted_count() == 1) assign_counter(mb.active());
   }
   return st;
 }
@@ -94,8 +115,9 @@ Status RvmaEndpoint::post_buffer_timing_only(std::uint64_t vaddr,
   PostedBuffer buf;
   buf.size = size;
   const Status st = mb.post(buf);
-  if (ok(st) && mb.posted_count() == 1) {
-    assign_counter(mb.active());
+  if (ok(st)) {
+    c_buffers_posted_->inc();
+    if (mb.posted_count() == 1) assign_counter(mb.active());
   }
   return st;
 }
@@ -114,7 +136,11 @@ Status RvmaEndpoint::free_window(std::uint64_t vaddr) {
   // Release the active buffer's on-NIC counter, if it holds one.
   if (mb.has_active() && mb.active().counter_on_nic) {
     counters_.release();
+    c_counters_released_->inc();
   }
+  // The mailbox's still-posted buffers are discarded with it; account them
+  // as retired so the posted-buffers level (posted - retired) returns to 0.
+  c_buffers_retired_->inc(mb.posted_count());
   lut_.erase(it);
   waiters_.erase(vaddr);
   observers_.erase(vaddr);
@@ -230,9 +256,10 @@ void RvmaEndpoint::send_nack(NodeId to, net::Pid to_pid, std::uint64_t vaddr,
   engine_.trace("rvma_drop",
                 {{"node", node()},
                  {"vaddr", static_cast<std::int64_t>(vaddr)},
-                 {"reason", static_cast<std::int64_t>(reason)}});
+                 {"reason", to_string(reason)}});
   if (!params_.nacks_enabled) return;
   ++stats_.nacks_sent;
+  c_nacks_sent_->inc();
   net::Message msg;
   msg.dst = to;
   msg.bytes = params_.ctrl_bytes;
@@ -246,6 +273,7 @@ void RvmaEndpoint::send_nack(NodeId to, net::Pid to_pid, std::uint64_t vaddr,
 
 void RvmaEndpoint::assign_counter(PostedBuffer& buf) {
   buf.counter_on_nic = counters_.try_acquire();
+  if (buf.counter_on_nic) c_counters_acquired_->inc();
 }
 
 void RvmaEndpoint::handle_packet(const net::Packet& pkt) {
@@ -263,6 +291,7 @@ void RvmaEndpoint::handle_packet(const net::Packet& pkt) {
           via_catch_all = true;
           if (it == lut_.end()) {
             ++stats_.drops_no_mailbox;
+            c_drops_no_mailbox_->inc();
             send_nack(copy.src, copy.msg->hdr.src_pid, vaddr, Status::kNoMailbox);
             return;
           }
@@ -270,17 +299,20 @@ void RvmaEndpoint::handle_packet(const net::Packet& pkt) {
         Mailbox& mb = *it->second;
         if (mb.closed()) {
           ++stats_.drops_closed;
+          c_drops_closed_->inc();
           send_nack(copy.src, copy.msg->hdr.src_pid, vaddr, Status::kClosed);
           return;
         }
         if (!via_catch_all && params_.enforce_keys && mb.key() != 0 &&
             copy.msg->hdr.imm != mb.key()) {
           ++stats_.drops_bad_key;
+          c_drops_bad_key_->inc();
           send_nack(copy.src, copy.msg->hdr.src_pid, vaddr, Status::kError);
           return;
         }
         if (!mb.has_active()) {
           ++stats_.drops_no_buffer;
+          c_drops_no_buffer_->inc();
           send_nack(copy.src, copy.msg->hdr.src_pid, vaddr, Status::kNoBuffer);
           return;
         }
@@ -290,10 +322,12 @@ void RvmaEndpoint::handle_packet(const net::Packet& pkt) {
           process_put(copy, mb, via_catch_all);
         } else {
           ++stats_.host_counter_packets;
+          c_host_counter_packets_->inc();
           engine_.schedule(params_.host_counter_penalty,
                            [this, copy, &mb, via_catch_all] {
                              if (!mb.has_active() || mb.closed()) {
                                ++stats_.drops_no_buffer;
+                               c_drops_no_buffer_->inc();
                                return;
                              }
                              process_put(copy, mb, via_catch_all);
@@ -305,6 +339,7 @@ void RvmaEndpoint::handle_packet(const net::Packet& pkt) {
 
     case kRvmaNack: {
       ++stats_.nacks_received;
+      c_nacks_received_->inc();
       if (nack_fn_) {
         nack_fn_(pkt.msg->hdr.addr, static_cast<Status>(pkt.msg->hdr.imm));
       }
@@ -347,7 +382,11 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
   const bool managed =
       mb.placement() == Placement::kManaged || via_catch_all;
   ++stats_.packets_received;
-  if (via_catch_all) ++stats_.catch_all_packets;
+  c_packets_->inc();
+  if (via_catch_all) {
+    ++stats_.catch_all_packets;
+    c_catch_all_->inc();
+  }
 
   // Place the packet's payload. Steered mode lands at the initiator's
   // offset within the active buffer; receiver-managed (stream) mode
@@ -359,14 +398,17 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
   while (remaining > 0) {
     if (!mb.has_active()) {
       ++stats_.drops_no_buffer;
+      c_drops_no_buffer_->inc();
       send_nack(pkt.src, pkt.msg->hdr.src_pid, pkt.msg->hdr.addr, Status::kNoBuffer);
       return;
     }
     PostedBuffer& buf = mb.active();
+    if (buf.first_rx_at == kTimeInfinity) buf.first_rx_at = engine_.now();
     const std::uint64_t place_at =
         managed ? buf.write_cursor : pkt.msg->hdr.offset + src_off;
     if (place_at + remaining > buf.size && !managed) {
       ++stats_.drops_overflow;
+      c_drops_overflow_->inc();
       send_nack(pkt.src, pkt.msg->hdr.src_pid, pkt.msg->hdr.addr, Status::kOverflow);
       return;
     }
@@ -378,6 +420,7 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
     buf.write_cursor = place_at + chunk;
     buf.bytes_received += chunk;
     stats_.bytes_received += chunk;
+    c_bytes_->inc(chunk);
     src_off += chunk;
     remaining -= chunk;
 
@@ -393,6 +436,7 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
   if (arrived == pkt.total) {
     msg_arrived_.erase(pkt.msg->id);
     ++stats_.puts_received;
+    c_puts_->inc();
     if (mb.has_active()) {
       PostedBuffer& buf = mb.active();
       ++buf.ops_received;
@@ -413,26 +457,41 @@ void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
   // bucket means there is nothing to retire.
   if (!mb.has_active()) return;
   PostedBuffer& buf = mb.active();
-  if (buf.counter_on_nic) counters_.release();
+  if (buf.counter_on_nic) {
+    counters_.release();
+    c_counters_released_->inc();
+  }
 
   void** notif_ptr = buf.notif_ptr;
   std::int64_t* len_ptr = buf.len_ptr;
   void* head = static_cast<void*>(buf.base);
   const auto len = static_cast<std::int64_t>(buf.bytes_received);
   const std::uint64_t vaddr = mb.vaddr();
+  // Buffer latency: first payload byte in -> completion-pointer write
+  // visible in host memory. Zero when the buffer completed without ever
+  // receiving payload (e.g. inc_epoch on an untouched buffer).
+  const Time lat = buf.first_rx_at == kTimeInfinity
+                       ? 0
+                       : engine_.now() - buf.first_rx_at +
+                             params_.completion_write;
+  if (lat != 0) h_completion_latency_ns_->record(lat / kNanosecond);
 
   mb.retire_active(soft);  // non-empty: checked above, cannot fail
+  c_buffers_retired_->inc();
   if (soft) {
     ++stats_.soft_completions;
+    c_soft_completions_->inc();
   } else {
     ++stats_.completions;
+    c_completions_->inc();
   }
   engine_.trace("rvma_complete",
                 {{"node", node()},
                  {"vaddr", static_cast<std::int64_t>(vaddr)},
                  {"len", len},
                  {"epoch", mb.epoch()},
-                 {"soft", soft ? 1 : 0}});
+                 {"soft", soft ? 1 : 0},
+                 {"lat_ps", static_cast<std::int64_t>(lat)}});
   if (mb.has_active()) {
     assign_counter(mb.active());
   }

@@ -179,6 +179,29 @@ class RvmaEndpoint {
   RvmaStats stats_;
   CounterPool counters_;
 
+  /// Registry mirrors of stats_ (shared across endpoints on one Cluster),
+  /// resolved once from the NIC's registry at construction. The stats_
+  /// accessors above stay per-instance and exact.
+  obs::Counter* c_puts_;
+  obs::Counter* c_packets_;
+  obs::Counter* c_bytes_;
+  obs::Counter* c_completions_;
+  obs::Counter* c_soft_completions_;
+  obs::Counter* c_nacks_sent_;
+  obs::Counter* c_nacks_received_;
+  obs::Counter* c_drops_no_mailbox_;
+  obs::Counter* c_drops_closed_;
+  obs::Counter* c_drops_no_buffer_;
+  obs::Counter* c_drops_overflow_;
+  obs::Counter* c_drops_bad_key_;
+  obs::Counter* c_catch_all_;
+  obs::Counter* c_host_counter_packets_;
+  obs::Counter* c_buffers_posted_;
+  obs::Counter* c_buffers_retired_;
+  obs::Counter* c_counters_acquired_;
+  obs::Counter* c_counters_released_;
+  obs::Histogram* h_completion_latency_ns_;
+
   std::unordered_map<std::uint64_t, std::unique_ptr<Mailbox>> lut_;
   std::unordered_map<std::uint64_t, std::vector<NotifyFn>> waiters_;
   std::unordered_map<std::uint64_t, NotifyFn> observers_;

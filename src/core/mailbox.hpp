@@ -38,6 +38,10 @@ struct PostedBuffer {
   std::int64_t ops_received = 0;
   std::uint64_t write_cursor = 0;  ///< kManaged append point
   bool counter_on_nic = true;
+  /// When the first payload byte landed in this buffer while active;
+  /// kTimeInfinity until then. Feeds the completion-latency histogram
+  /// (first byte in -> completion-pointer write visible).
+  Time first_rx_at = kTimeInfinity;
 
   bool threshold_reached() const {
     if (type == EpochType::kBytes) {

@@ -48,7 +48,7 @@ std::uint64_t derive_run_seed(std::uint64_t base_seed,
 MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
                               net::TopologyKind kind, net::Routing routing,
                               Bandwidth bw, bool use_rvma, std::uint64_t seed,
-                              Tracer* trace_sink) {
+                              Tracer* trace_sink, std::int64_t eng_id) {
   net::NetworkConfig cfg;
   cfg.topology = kind;
   cfg.routing = routing;
@@ -60,7 +60,12 @@ MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
   cfg.seed = seed;
 
   nic::Cluster cluster(cfg, nic::NicParams{});
-  if (trace_sink != nullptr) cluster.engine().set_tracer(trace_sink);
+  // Stamp the run id even when keeping the process-default sink: serial
+  // grids funnel every run through Tracer::global(), and without distinct
+  // "eng" fields trace analyses would mix (and double-count) the runs.
+  cluster.engine().set_tracer(
+      trace_sink != nullptr ? trace_sink : cluster.engine().tracer(), eng_id);
+  if (bench.sample_period > 0) cluster.enable_sampling(bench.sample_period);
   auto programs = bench.build(bench.nodes);
   MotifResult result;
   if (use_rvma) {
@@ -81,6 +86,8 @@ MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
   out.engine_events = result.engine_events;
   out.trace_events =
       trace_sink != nullptr ? trace_sink->events_written() : 0;
+  out.metrics = cluster.collect_metrics();
+  if (bench.sample_period > 0) out.series = cluster.sampler().take_series();
   return out;
 }
 
@@ -97,10 +104,17 @@ std::vector<MotifCell> run_motif_grid(const MotifBenchConfig& bench,
         const std::size_t speed_index = (i / 2) % speeds;
         const bool use_rvma = (i % 2) != 0;
         const TopoCase& tc = cases[case_index];
-        return run_motif_once(
+        MotifRunOutput out = run_motif_once(
             bench, tc.kind, tc.routing, Bandwidth::gbps(bench.gbps[speed_index]),
             use_rvma,
-            derive_run_seed(bench.seed, case_index, speed_index, use_rvma));
+            derive_run_seed(bench.seed, case_index, speed_index, use_rvma),
+            /*trace_sink=*/nullptr, /*eng_id=*/static_cast<std::int64_t>(i));
+        // Label from grid coordinates, not completion order: the same run
+        // gets the same label at any job count.
+        out.series.label = std::string(tc.name) + "@" +
+                           format_bandwidth(Bandwidth::gbps(bench.gbps[speed_index])) +
+                           (use_rvma ? "/rvma" : "/rdma");
+        return out;
       });
 
   std::vector<MotifCell> cells(cases.size() * speeds);
@@ -109,6 +123,30 @@ std::vector<MotifCell> run_motif_grid(const MotifBenchConfig& bench,
     cells[i / 2].rvma = outputs[i + 1];
   }
   return cells;
+}
+
+obs::MetricsDoc build_motif_metrics_doc(const MotifBenchConfig& bench,
+                                        const std::vector<TopoCase>& cases,
+                                        const std::vector<MotifCell>& cells) {
+  obs::MetricsDoc doc;
+  doc.tool = bench.figure;
+  doc.meta["motif"] = bench.motif;
+  doc.meta["nodes"] = std::to_string(bench.nodes);
+  doc.meta["rdma_slots"] = std::to_string(bench.rdma_slots);
+  doc.meta["seed"] = std::to_string(bench.seed);
+  doc.meta["grid_cases"] = std::to_string(cases.size());
+  doc.meta["grid_speeds"] = std::to_string(bench.gbps.size());
+  if (bench.sample_period > 0) {
+    doc.meta["sample_period_us"] =
+        std::to_string(bench.sample_period / kMicrosecond);
+  }
+  for (const MotifCell& cell : cells) {
+    doc.totals.merge(cell.rdma.metrics);
+    doc.totals.merge(cell.rvma.metrics);
+    if (!cell.rdma.series.empty()) doc.timeseries.push_back(cell.rdma.series);
+    if (!cell.rvma.series.empty()) doc.timeseries.push_back(cell.rvma.series);
+  }
+  return doc;
 }
 
 namespace {
@@ -168,6 +206,12 @@ int run_motif_figure(MotifBenchConfig bench, int argc, char** argv) {
   const bool quick = cli.get_bool("quick", false);
   const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   const std::string json_path = cli.get("json", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  const std::int64_t metrics_period_us =
+      cli.get_int("metrics-period-us", 10);
+  if (!metrics_path.empty() && metrics_period_us > 0) {
+    bench.sample_period = static_cast<Time>(metrics_period_us) * kMicrosecond;
+  }
   // Serial-run wall-clock handed in by tools/run_bench.sh so the parallel
   // run can report its speedup over the serial baseline.
   const double serial_wall_s = cli.get_double("serial-wall-s", 0.0);
@@ -237,6 +281,11 @@ int run_motif_figure(MotifBenchConfig bench, int argc, char** argv) {
   if (!json_path.empty()) {
     write_grid_json(json_path, bench, cases, cells, effective_jobs,
                     wall_seconds, serial_wall_s);
+  }
+  if (!metrics_path.empty()) {
+    const obs::MetricsDoc doc = build_motif_metrics_doc(bench, cases, cells);
+    if (!obs::write_metrics_file(doc, metrics_path)) return 1;
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   }
   return 0;
 }

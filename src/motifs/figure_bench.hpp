@@ -15,6 +15,7 @@
 #include "common/trace.hpp"
 #include "motifs/runner.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics_io.hpp"
 
 namespace rvma::motifs {
 
@@ -34,6 +35,10 @@ struct MotifBenchConfig {
   /// Base experiment seed (--seed); per-run seeds derive from it and the
   /// run's grid coordinates via derive_run_seed().
   std::uint64_t seed = 2021;
+  /// Simulated-time gauge sampling period per run; 0 disables sampling.
+  /// Sampling observes the engine between events and schedules nothing,
+  /// so enabling it changes no simulation result (see obs/sampler.hpp).
+  Time sample_period = 0;
 };
 
 /// One (topology, routing) row of the paper's Figure 7/8 grids.
@@ -64,6 +69,11 @@ struct MotifRunOutput {
   /// Events recorded into the per-run sink; 0 when the run used the
   /// process-default sink (per-run attribution impossible there).
   std::uint64_t trace_events = 0;
+  /// Full registry dump for the run (counters, gauge high-waters,
+  /// histograms) — mergeable across the grid in grid order.
+  obs::MetricsSnapshot metrics;
+  /// Sampled gauge timeseries; empty unless bench.sample_period > 0.
+  obs::Timeseries series;
 
   bool operator==(const MotifRunOutput&) const = default;
 };
@@ -71,10 +81,13 @@ struct MotifRunOutput {
 /// Run one (topology, routing, bandwidth, protocol) cell half. When
 /// `trace_sink` is non-null it becomes the run's engine sink (per-run
 /// isolation); null keeps the process default (Tracer::global()).
+/// `eng_id` is stamped into every trace record ("eng" field) so analyses
+/// can separate runs sharing one sink; grid runners pass the run index.
 MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
                               net::TopologyKind kind, net::Routing routing,
                               Bandwidth bw, bool use_rvma, std::uint64_t seed,
-                              Tracer* trace_sink = nullptr);
+                              Tracer* trace_sink = nullptr,
+                              std::int64_t eng_id = 0);
 
 struct MotifCell {
   MotifRunOutput rdma;
@@ -95,9 +108,18 @@ std::vector<MotifCell> run_motif_grid(const MotifBenchConfig& bench,
                                       const std::vector<TopoCase>& cases,
                                       int jobs);
 
+/// Merge every grid cell's metrics (in grid order) and collect the
+/// per-run timeseries into one self-describing metrics document. The
+/// document deliberately carries no job count or wall-clock data, so it
+/// is byte-identical at any --jobs (see obs/metrics_io.hpp).
+obs::MetricsDoc build_motif_metrics_doc(const MotifBenchConfig& bench,
+                                        const std::vector<TopoCase>& cases,
+                                        const std::vector<MotifCell>& cells);
+
 /// CLI driver shared by fig7_sweep3d / fig8_halo3d: parses --nodes,
-/// --rdma-slots, --quick, --jobs, --seed, --json, --serial-wall-s; runs
-/// the grid and prints the table plus a wall-clock footer.
+/// --rdma-slots, --quick, --jobs, --seed, --json, --metrics,
+/// --metrics-period-us, --serial-wall-s; runs the grid and prints the
+/// table plus a wall-clock footer.
 int run_motif_figure(MotifBenchConfig bench, int argc, char** argv);
 
 }  // namespace rvma::motifs

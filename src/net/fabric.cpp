@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,50 @@
 #include "common/trace.hpp"
 
 namespace rvma::net {
+
+Fabric::Fabric(sim::Engine& engine, obs::MetricsRegistry* metrics)
+    : engine_(engine) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_injected_ = &metrics_->counter("fabric.packets_injected");
+  c_delivered_ = &metrics_->counter("fabric.packets_delivered");
+  c_hops_ = &metrics_->counter("fabric.hops");
+  c_wire_bytes_ = &metrics_->counter("fabric.wire_bytes_delivered");
+  c_drops_dead_node_ = &metrics_->counter("fabric.drops_dead_node");
+  c_route_cache_hits_ = &metrics_->counter("fabric.route_cache_hits");
+  g_port_backlog_ps_ = &metrics_->gauge("fabric.port_backlog_ps");
+  h_pkt_latency_ns_ = &metrics_->histogram("fabric.pkt_latency_ns");
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats s;
+  s.packets_injected = c_injected_->value();
+  s.packets_delivered = c_delivered_->value();
+  s.total_hops = c_hops_->value();
+  s.wire_bytes_delivered = c_wire_bytes_->value();
+  s.packets_dropped_dead_node = c_drops_dead_node_->value();
+  s.route_cache_hits = c_route_cache_hits_->value();
+  s.max_port_backlog = static_cast<Time>(g_port_backlog_ps_->high_water());
+  return s;
+}
+
+Time Fabric::current_port_backlog_max() const {
+  const Time now = engine_.now();
+  Time worst = 0;
+  for (const Switch& s : switches_) {
+    for (const Port& p : s.ports) {
+      if (p.busy_until > now) worst = std::max(worst, p.busy_until - now);
+    }
+  }
+  for (const NodeAttach& at : node_attach_) {
+    const Time busy = at.injection.busy_until;
+    if (busy > now) worst = std::max(worst, busy - now);
+  }
+  return worst;
+}
 
 int Fabric::add_switch(Time latency, Bandwidth xbar_bw) {
   switches_.push_back(Switch{latency, xbar_bw, {}});
@@ -86,10 +131,11 @@ void Fabric::inject(Packet&& pkt) {
   assert(pkt.src >= 0 && pkt.src < static_cast<NodeId>(node_attach_.size()));
   assert(pkt.dst >= 0 && pkt.dst < static_cast<NodeId>(node_attach_.size()));
   if (node_attach_[pkt.src].failed || node_attach_[pkt.dst].failed) {
-    ++stats_.packets_dropped_dead_node;
+    c_drops_dead_node_->inc();
     return;
   }
-  ++stats_.packets_injected;
+  c_injected_->inc();
+  ++inflight_;
   pkt.injected_at = engine_.now();
   engine_.trace("pkt_inject",
                 {{"src", pkt.src},
@@ -118,7 +164,7 @@ void Fabric::inject_burst(std::vector<Packet>&& pkts) {
   assert(src >= 0 && src < static_cast<NodeId>(node_attach_.size()));
   assert(dst >= 0 && dst < static_cast<NodeId>(node_attach_.size()));
   if (node_attach_[src].failed || node_attach_[dst].failed) {
-    stats_.packets_dropped_dead_node += pkts.size();
+    c_drops_dead_node_->inc(pkts.size());
     return;
   }
 
@@ -131,7 +177,8 @@ void Fabric::inject_burst(std::vector<Packet>&& pkts) {
   // admission and the per-packet arrival times are exactly what N eager
   // inject() calls at this instant would have produced.
   for (Packet& pkt : pkts) {
-    ++stats_.packets_injected;
+    c_injected_->inc();
+    ++inflight_;
     pkt.injected_at = engine_.now();
     engine_.trace("pkt_inject",
                   {{"src", pkt.src},
@@ -183,7 +230,7 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
     // std::function call into the topology's route logic per hop.
     port = static_routes_[static_cast<std::size_t>(sw) * node_attach_.size() +
                           static_cast<std::size_t>(pkt.dst)];
-    ++stats_.route_cache_hits;
+    c_route_cache_hits_->inc();
     assert(port >= 0 && port < static_cast<int>(s.ports.size()));
   } else {
     port = router_(sw, pkt);
@@ -193,7 +240,7 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   Port& p = s.ports[port];
   const std::uint64_t wire = pkt.wire_bytes();
   const Time backlog = p.busy_until > engine_.now() ? p.busy_until - engine_.now() : 0;
-  stats_.max_port_backlog = std::max(stats_.max_port_backlog, backlog);
+  g_port_backlog_ps_->set(static_cast<std::int64_t>(backlog));
   const Time xbar_done = engine_.now() + s.latency + s.xbar_bw.serialize(wire);
   const Time start = std::max(xbar_done, p.busy_until);
   const Time finish = start + p.link.bw.serialize(wire);
@@ -216,12 +263,15 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
 
 void Fabric::deliver(NodeId node, Packet&& pkt) {
   if (node_attach_[node].failed) {
-    ++stats_.packets_dropped_dead_node;
+    c_drops_dead_node_->inc();
+    --inflight_;
     return;
   }
-  ++stats_.packets_delivered;
-  stats_.total_hops += pkt.hops;
-  stats_.wire_bytes_delivered += pkt.wire_bytes();
+  c_delivered_->inc();
+  c_hops_->inc(pkt.hops);
+  c_wire_bytes_->inc(pkt.wire_bytes());
+  --inflight_;
+  h_pkt_latency_ns_->record((engine_.now() - pkt.injected_at) / kNanosecond);
   engine_.trace("pkt_deliver",
                 {{"src", pkt.src},
                  {"dst", pkt.dst},

@@ -15,6 +15,7 @@
 
 #include "common/units.hpp"
 #include "net/types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace rvma::net {
@@ -57,7 +58,11 @@ class Fabric {
   /// Per-node delivery callback (installed by the NIC model).
   using Delivery = std::function<void(Packet&&)>;
 
-  explicit Fabric(sim::Engine& engine) : engine_(engine) {}
+  /// When `metrics` is non-null the fabric records into that shared
+  /// registry (the Cluster's); otherwise it owns a private one so
+  /// standalone fabrics (unit tests, topology experiments) keep working.
+  explicit Fabric(sim::Engine& engine,
+                  obs::MetricsRegistry* metrics = nullptr);
 
   int add_switch(Time latency, Bandwidth xbar_bw);
   /// Append a port to `sw`; wiring is set later via connect()/attach_node().
@@ -106,7 +111,21 @@ class Fabric {
   /// ahead of the wire the NIC's transmit queue currently runs.
   Time injection_backlog(NodeId node) const;
 
-  const FabricStats& stats() const { return stats_; }
+  /// Compatibility view assembled from the registry instruments (the
+  /// counters live in obs::MetricsRegistry now). Returned by value;
+  /// callers binding a const reference get lifetime extension.
+  FabricStats stats() const;
+
+  /// Registry this fabric records into (shared or privately owned).
+  obs::MetricsRegistry& metrics_registry() { return *metrics_; }
+
+  /// Packets currently inside the fabric (injected, not yet delivered or
+  /// dropped) — a sampler gauge provider.
+  std::int64_t inflight_packets() const { return inflight_; }
+
+  /// Worst output-port or injection-link backlog right now (in time) —
+  /// the instantaneous congestion level, for the sampler. O(ports).
+  Time current_port_backlog_max() const;
 
   /// Failure injection: from now on, packets destined to or originating
   /// from `node` are silently dropped (the node has died). Used by the
@@ -151,7 +170,21 @@ class Fabric {
   /// Flat (switch, dst) -> port table for static routing; empty when the
   /// routing mode is adaptive (per-packet router_ calls).
   std::vector<std::int32_t> static_routes_;
-  FabricStats stats_;
+
+  /// Shared (Cluster) or privately owned registry, plus the instruments
+  /// resolved once at construction — a record is one add through a
+  /// cached pointer, no name lookups on the hot path.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_injected_;
+  obs::Counter* c_delivered_;
+  obs::Counter* c_hops_;
+  obs::Counter* c_wire_bytes_;
+  obs::Counter* c_drops_dead_node_;
+  obs::Counter* c_route_cache_hits_;
+  obs::Gauge* g_port_backlog_ps_;
+  obs::Histogram* h_pkt_latency_ns_;
+  std::int64_t inflight_ = 0;
 };
 
 }  // namespace rvma::net

@@ -37,8 +37,11 @@ std::unique_ptr<Topology> make_topology(const NetworkConfig& config) {
   throw std::invalid_argument("unknown topology kind");
 }
 
-Network::Network(sim::Engine& engine, const NetworkConfig& config)
-    : config_(config), fabric_(engine), rng_(config.seed ^ 0x746f706fULL) {
+Network::Network(sim::Engine& engine, const NetworkConfig& config,
+                 obs::MetricsRegistry* metrics)
+    : config_(config),
+      fabric_(engine, metrics),
+      rng_(config.seed ^ 0x746f706fULL) {
   topology_ = make_topology(config_);
   topology_->build(fabric_);
   fabric_.check_wired();

@@ -71,7 +71,10 @@ class Topology {
 /// Owns the engine-facing pieces: fabric, topology, routing policy, RNG.
 class Network {
  public:
-  Network(sim::Engine& engine, const NetworkConfig& config);
+  /// `metrics` is forwarded to the Fabric (shared Cluster registry);
+  /// nullptr gives the fabric a private registry.
+  Network(sim::Engine& engine, const NetworkConfig& config,
+          obs::MetricsRegistry* metrics = nullptr);
 
   int num_nodes() const { return topology_->num_nodes(); }
   Fabric& fabric() { return fabric_; }

@@ -9,8 +9,18 @@
 namespace rvma::nic {
 
 Nic::Nic(sim::Engine& engine, net::Network& network, NodeId node,
-         const NicParams& params)
+         const NicParams& params, obs::MetricsRegistry* metrics)
     : engine_(engine), network_(network), node_(node), params_(params) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  c_messages_sent_ = &metrics->counter("nic.messages_sent");
+  c_messages_injected_ = &metrics->counter("nic.messages_injected");
+  c_packets_received_ = &metrics->counter("nic.packets_received");
+  c_tx_queue_stalls_ = &metrics->counter("nic.tx_queue_stalls");
+  c_drops_no_handler_ = &metrics->counter("nic.drops_no_handler");
   network_.set_delivery(node_, [this](Packet&& pkt) {
     handle_delivery(std::move(pkt));
   });
@@ -24,6 +34,7 @@ void Nic::send(Message msg, SendDone on_sent) {
   }
   msg.created_at = engine_.now();
   ++messages_sent_;
+  c_messages_sent_->inc();
 
   // Host posts the descriptor, rings the doorbell; the NIC fetches it one
   // PCIe crossing later and runs transmit-queue admission.
@@ -35,6 +46,7 @@ void Nic::send(Message msg, SendDone on_sent) {
     if (!tx_queue_.empty() ||
         network_.fabric().injection_backlog(node_) > params_.tx_queue_limit) {
       ++tx_queue_stalls_;
+      c_tx_queue_stalls_->inc();
       tx_queue_.emplace_back(std::move(msg), std::move(on_sent));
       drain_tx_queue();
       return;
@@ -63,6 +75,7 @@ void Nic::drain_tx_queue() {
 }
 
 void Nic::inject_message(Message msg, SendDone on_sent) {
+  c_messages_injected_->inc();
   auto shared = std::make_shared<const Message>(std::move(msg));
   const std::uint64_t bytes = shared->bytes;
   const std::uint32_t total = bytes == 0
@@ -107,6 +120,7 @@ void Nic::register_proto(std::uint32_t proto, PacketHandler handler,
 
 void Nic::handle_delivery(Packet&& pkt) {
   ++packets_received_;
+  c_packets_received_->inc();
   const std::uint32_t proto = net::proto_of(pkt.msg->hdr.kind);
   const net::Pid pid = pkt.msg->hdr.dst_pid;
   if (proto >= kMaxProto || pid >= dispatch_[proto].size() ||
@@ -114,6 +128,7 @@ void Nic::handle_delivery(Packet&& pkt) {
     // A remote peer targeted a protocol/process this node does not run —
     // a network-visible condition, not a local bug: drop.
     ++packets_dropped_no_handler_;
+    c_drops_no_handler_->inc();
     RVMA_LOG_WARN("nic %d: dropping packet for proto %u pid %u", node_,
                   proto, pid);
     return;
@@ -135,12 +150,57 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
     return true;
   }();
   (void)env_initialized;
-  network_ = std::make_unique<net::Network>(engine_, net_config);
+  network_ = std::make_unique<net::Network>(engine_, net_config, &metrics_);
   const int n = network_->num_nodes();
   nics_.reserve(n);
   for (NodeId node = 0; node < n; ++node) {
-    nics_.push_back(std::make_unique<Nic>(engine_, *network_, node, nic_params));
+    nics_.push_back(
+        std::make_unique<Nic>(engine_, *network_, node, nic_params, &metrics_));
   }
+
+  // Standard sampler columns. Providers only dereference Cluster-owned
+  // state (engine, fabric, NICs, registry), all of which outlives the
+  // sampler's use. Same-named providers sum into one column (NIC queues).
+  sampler_.add_gauge("engine.heap_depth", [this] {
+    return static_cast<std::int64_t>(engine_.pending());
+  });
+  sampler_.add_gauge("fabric.inflight_packets", [this] {
+    return network_->fabric().inflight_packets();
+  });
+  sampler_.add_gauge("fabric.port_backlog_ns", [this] {
+    return static_cast<std::int64_t>(
+        network_->fabric().current_port_backlog_max() / kNanosecond);
+  });
+  for (const auto& nic : nics_) {
+    Nic* raw = nic.get();
+    sampler_.add_gauge("nic.tx_queue_depth", [raw] {
+      return raw->tx_queue_depth();
+    });
+  }
+  // Endpoint levels derived from counter pairs: endpoints come and go per
+  // experiment, but the registry counters they mirror into are stable.
+  sampler_.add_gauge("rvma.posted_buffers", [this] {
+    return static_cast<std::int64_t>(
+        metrics_.counter("rvma.buffers_posted").value() -
+        metrics_.counter("rvma.buffers_retired").value());
+  });
+  sampler_.add_gauge("rvma.nic_counters_in_use", [this] {
+    return static_cast<std::int64_t>(
+        metrics_.counter("rvma.nic_counters_acquired").value() -
+        metrics_.counter("rvma.nic_counters_released").value());
+  });
+}
+
+void Cluster::enable_sampling(Time period) {
+  sampler_.enable(period);
+  engine_.set_sampler(&sampler_);
+}
+
+obs::MetricsSnapshot Cluster::collect_metrics() const {
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  snap.counters["engine.events_executed"] = engine_.executed_events();
+  snap.counters["engine.events_scheduled"] = engine_.scheduled_events();
+  return snap;
 }
 
 }  // namespace rvma::nic

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/engine.hpp"
 
 namespace rvma::nic {
@@ -49,12 +51,19 @@ class Nic {
   /// injection link (the send buffer is owned by the NIC from then on).
   using SendDone = std::function<void()>;
 
+  /// `metrics` is the shared Cluster registry; nullptr gives this NIC a
+  /// private one (standalone construction in unit tests). Per-instance
+  /// accessors below stay exact either way — the registry counters are
+  /// fleet-wide aggregates mirrored alongside them.
   Nic(sim::Engine& engine, net::Network& network, NodeId node,
-      const NicParams& params);
+      const NicParams& params, obs::MetricsRegistry* metrics = nullptr);
 
   NodeId node() const { return node_; }
   const NicParams& params() const { return params_; }
   sim::Engine& engine() { return engine_; }
+  /// Registry this NIC records into — protocol endpoints layered on the
+  /// NIC resolve their instruments here.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   /// Post a message for transmission. Charges host overhead + PCIe, then
   /// segments into MTU packets and injects them. Assigns msg.id if zero.
@@ -71,6 +80,12 @@ class Nic {
   std::uint64_t tx_queue_stalls() const { return tx_queue_stalls_; }
   std::uint64_t packets_dropped_no_handler() const {
     return packets_dropped_no_handler_;
+  }
+
+  /// Descriptors waiting in the host-side transmit queue right now — a
+  /// sampler gauge provider.
+  std::int64_t tx_queue_depth() const {
+    return static_cast<std::int64_t>(tx_queue_.size());
   }
 
  private:
@@ -93,6 +108,16 @@ class Nic {
   std::uint64_t packets_dropped_no_handler_ = 0;
   std::deque<std::pair<Message, SendDone>> tx_queue_;
   bool drain_scheduled_ = false;
+
+  /// Registry mirrors of the per-instance counters (shared across all
+  /// NICs on a Cluster), resolved once at construction.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_messages_sent_;
+  obs::Counter* c_messages_injected_;
+  obs::Counter* c_packets_received_;
+  obs::Counter* c_tx_queue_stalls_;
+  obs::Counter* c_drops_no_handler_;
 };
 
 /// Engine + network + one NIC per node: the simulated machine every
@@ -106,7 +131,26 @@ class Cluster {
   Nic& nic(NodeId node) { return *nics_[node]; }
   int num_nodes() const { return network_->num_nodes(); }
 
+  /// The cluster-wide instrument registry every layer records into.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Sampler& sampler() { return sampler_; }
+
+  /// Arm simulated-time gauge sampling (engine.heap_depth, in-flight
+  /// packets, port backlog, NIC tx queues, posted buffers...) with the
+  /// given period. Call before running the simulation.
+  void enable_sampling(Time period);
+
+  /// Registry snapshot plus the engine's own counters (events executed /
+  /// scheduled, final heap depth). Idempotent — engine values are stamped
+  /// into the snapshot, not accumulated into the registry.
+  obs::MetricsSnapshot collect_metrics() const;
+
  private:
+  // Declaration order is lifetime order: instruments and sampler must
+  // outlive the engine/NICs that hold pointers into them (destruction
+  // runs in reverse).
+  obs::MetricsRegistry metrics_;
+  obs::Sampler sampler_{metrics_};
   sim::Engine engine_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<Nic>> nics_;

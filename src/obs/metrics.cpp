@@ -1,0 +1,132 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace rvma::obs {
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+
+  // Merge the two sorted sparse bucket lists.
+  std::vector<std::pair<std::int32_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Mass-based rank: the p-th percentile cuts off p% of the recorded
+  // values. Interpolating linearly within the containing bucket makes the
+  // result monotone in p (bucket boundaries agree from both sides).
+  const double target = p / 100.0 * static_cast<double>(count);
+  double cum = 0.0;
+  for (const auto& [index, n] : buckets) {
+    const double c = static_cast<double>(n);
+    if (target <= cum + c) {
+      const double floor = static_cast<double>(Histogram::bucket_floor(index));
+      const double width = static_cast<double>(Histogram::bucket_width(index));
+      double v = floor + (target - cum) / c * width;
+      v = std::max(v, static_cast<double>(min));
+      v = std::min(v, static_cast<double>(max));
+      return v;
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min();
+  snap.max = max_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      snap.buckets.emplace_back(static_cast<std::int32_t>(i), buckets_[i]);
+    }
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) histograms[name].merge(h);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.high_water();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h.snapshot();
+  return snap;
+}
+
+}  // namespace rvma::obs

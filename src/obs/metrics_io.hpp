@@ -1,0 +1,80 @@
+// Metrics document serialization + the analysis operations behind the
+// rvma_metrics CLI (summarize / diff / check).
+//
+// One run (or one merged grid of runs) emits a single self-describing
+// JSON document: schema id, tool/config metadata, the merged registry
+// snapshot (counters, gauge high-waters, histograms with percentiles),
+// and the per-run gauge timeseries. Deliberately excluded: job counts,
+// wall-clock times, host identity — anything that would differ between
+// --jobs=1 and --jobs=N runs of the same experiment. The document is part
+// of the determinism contract: byte-identical at any job count.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace rvma::obs {
+
+struct JsonValue;
+
+inline constexpr const char* kMetricsSchema = "rvma-metrics-v1";
+
+struct MetricsDoc {
+  std::string schema = kMetricsSchema;
+  std::string tool;  ///< emitting bench, e.g. "fig8_halo3d"
+  /// Config key/values (nodes, seed, ...) as strings, sorted by key.
+  std::map<std::string, std::string> meta;
+  /// Registry dump, merged across the grid in deterministic grid order.
+  MetricsSnapshot totals;
+  /// One entry per sampled run, in grid order.
+  std::vector<Timeseries> timeseries;
+};
+
+/// Serialize to the canonical JSON form (stable key order, fixed float
+/// formatting) — the byte-identity anchor for the determinism tests.
+std::string to_json(const MetricsDoc& doc);
+
+/// Write to_json(doc) to `path`. Returns false (with a message on stderr)
+/// if the file cannot be written.
+bool write_metrics_file(const MetricsDoc& doc, const std::string& path);
+
+/// Parse a document previously produced by to_json (percentile fields are
+/// recomputed from the buckets, not read). Returns false with `*error`
+/// set on malformed input.
+bool metrics_doc_from_json(const JsonValue& root, MetricsDoc* out,
+                           std::string* error);
+bool read_metrics_file(const std::string& path, MetricsDoc* out,
+                       std::string* error);
+
+/// Human-readable summary: meta, counters, gauges, histogram percentile
+/// table, timeseries overview.
+void print_metrics_summary(const MetricsDoc& doc, std::FILE* out);
+
+struct DiffOptions {
+  /// Relative tolerance below which a numeric difference is not flagged
+  /// (0 = flag any difference).
+  double rel_tol = 0.0;
+};
+
+/// Side-by-side comparison of two documents; prints every differing
+/// instrument and returns the number of flagged differences.
+int print_metrics_diff(const MetricsDoc& a, const MetricsDoc& b,
+                       const DiffOptions& opts, std::FILE* out);
+
+struct CheckOptions {
+  /// Instrument names (counter, gauge, or histogram) that must exist.
+  std::vector<std::string> required;
+  bool need_histogram = false;   ///< require >= 1 histogram with samples
+  bool need_timeseries = false;  ///< require >= 1 non-empty timeseries
+};
+
+/// Validate a document (schema id, non-empty counters, required
+/// instruments present). Prints failures; returns the failure count.
+int check_metrics_doc(const MetricsDoc& doc, const CheckOptions& opts,
+                      std::FILE* out);
+
+}  // namespace rvma::obs

@@ -1,0 +1,78 @@
+#include "obs/sampler.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace rvma::obs {
+
+void Sampler::add_gauge(std::string_view name, Provider fn) {
+  providers_.emplace_back(std::string(name), std::move(fn));
+  column_providers_.clear();  // re-bind on next sample
+}
+
+void Sampler::enable(Time period) {
+  period_ = period;
+  if (period_ == 0) {
+    next_due_ = kTimeInfinity;
+    return;
+  }
+  // First boundary strictly after time 0: time-0 state is all zeros and
+  // every run has it; sampling starts once the simulation is moving.
+  next_due_ = period_;
+  series_.period = period_;
+}
+
+void Sampler::bind_columns() {
+  // Deterministic column order: unique provider names, sorted.
+  std::map<std::string, std::vector<std::size_t>> by_name;
+  for (std::size_t i = 0; i < providers_.size(); ++i) {
+    by_name[providers_[i].first].push_back(i);
+  }
+  series_.columns.clear();
+  column_providers_.clear();
+  for (auto& [name, indices] : by_name) {
+    series_.columns.push_back(name);
+    column_providers_.push_back(std::move(indices));
+  }
+}
+
+std::vector<std::int64_t> Sampler::sample_row() {
+  if (column_providers_.empty() && !providers_.empty()) bind_columns();
+  std::vector<std::int64_t> row;
+  row.reserve(column_providers_.size());
+  for (std::size_t c = 0; c < column_providers_.size(); ++c) {
+    std::int64_t v = 0;
+    for (std::size_t i : column_providers_[c]) v += providers_[i].second();
+    // Mirror into the registry gauge so snapshots carry the sampled
+    // high-water marks alongside the timeseries.
+    registry_->gauge(series_.columns[c]).set(v);
+    row.push_back(v);
+  }
+  return row;
+}
+
+Time Sampler::on_tick(Time now) {
+  if (period_ == 0) return kTimeInfinity;
+  if (now < next_due_) return next_due_;
+  // The engine was quiescent since the previous event, so every boundary
+  // in (last_due, now] observes the same state: compute the row once and
+  // stamp it at each crossed boundary.
+  const std::vector<std::int64_t> row = sample_row();
+  while (next_due_ <= now) {
+    series_.times.push_back(next_due_);
+    series_.rows.push_back(row);
+    next_due_ += period_;
+  }
+  return next_due_;
+}
+
+Timeseries Sampler::take_series() {
+  Timeseries out = std::move(series_);
+  series_ = Timeseries{};
+  series_.period = period_;
+  // Rows move out with the series; keep the column binding for reuse.
+  if (!column_providers_.empty()) series_.columns = out.columns;
+  return out;
+}
+
+}  // namespace rvma::obs

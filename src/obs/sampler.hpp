@@ -1,0 +1,84 @@
+// Simulated-time gauge sampling.
+//
+// A Sampler snapshots a set of named gauge providers into a timeseries on
+// a fixed simulated-time period. The Engine drives it from its event loop
+// (Engine::set_sampler): before executing the first event at or past a
+// period boundary it asks the sampler to record the boundary sample. The
+// engine is quiescent between events, so the state observed at that moment
+// IS the state at the boundary — sampling needs no events of its own, and
+// therefore never perturbs event counts, tie-break order, or makespans.
+//
+// Wall-clock sampling would break all of that: rows would land at
+// nondeterministic simulated times and the jobs=N vs jobs=1 byte-identity
+// contract would be lost. Simulated-time periods make the timeseries as
+// reproducible as the simulation itself.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvma::obs {
+
+/// One run's sampled gauge timeseries: rows[i][c] is column c at times[i].
+struct Timeseries {
+  std::string label;   ///< run identity, e.g. "torus3d/static@100Gbps/rvma"
+  Time period = 0;     ///< sampling period (ps)
+  std::vector<std::string> columns;            ///< gauge names, sorted
+  std::vector<Time> times;                     ///< period boundaries (ps)
+  std::vector<std::vector<std::int64_t>> rows;
+
+  bool empty() const { return times.empty(); }
+  bool operator==(const Timeseries&) const = default;
+};
+
+class Sampler {
+ public:
+  using Provider = std::function<std::int64_t()>;
+
+  explicit Sampler(MetricsRegistry& registry) : registry_(&registry) {}
+
+  /// Register a gauge provider. Several providers may share a name; their
+  /// values are summed into one column. Register everything before the
+  /// simulation starts — columns bind on the first sample.
+  void add_gauge(std::string_view name, Provider fn);
+
+  /// Arm sampling with the given simulated-time period (> 0). Until then
+  /// (and with period 0) next_due() is kTimeInfinity and the engine hook
+  /// costs one branch per event.
+  void enable(Time period);
+  bool enabled() const { return period_ > 0; }
+  Time period() const { return period_; }
+  Time next_due() const { return next_due_; }
+
+  /// Engine hook: record one row per period boundary in (last, now] and
+  /// return the next due time. Rows are stamped at the boundary, not at
+  /// `now` — no event fired in between, so the observed state is the
+  /// boundary state.
+  Time on_tick(Time now);
+
+  const Timeseries& series() const { return series_; }
+  /// Move the accumulated series out (for MotifRunOutput etc.); the
+  /// sampler keeps its configuration but starts an empty series.
+  Timeseries take_series();
+
+ private:
+  void bind_columns();
+  std::vector<std::int64_t> sample_row();
+
+  MetricsRegistry* registry_;
+  std::vector<std::pair<std::string, Provider>> providers_;
+  /// columns_[c] = provider indices summed into column c (bound lazily).
+  std::vector<std::vector<std::size_t>> column_providers_;
+  Time period_ = 0;
+  Time next_due_ = kTimeInfinity;
+  Timeseries series_;
+};
+
+}  // namespace rvma::obs

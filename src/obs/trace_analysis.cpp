@@ -1,0 +1,159 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace rvma::obs {
+
+bool analyze_trace_file(const std::string& path, TraceAnalysis* out,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  for (std::string line; std::getline(in, line);) {
+    ++out->lines;
+    JsonValue rec;
+    if (!json_parse(line, &rec, nullptr) || !rec.is_object()) {
+      ++out->skipped;
+      continue;
+    }
+    const JsonValue* ev = rec.find("ev");
+    if (ev == nullptr || !ev->is_string()) {
+      ++out->skipped;
+      continue;
+    }
+    const std::int64_t eng_id =
+        rec.find("eng") != nullptr ? rec.find("eng")->as_i64() : 0;
+    EngineTraceStats& eng = out->engines[eng_id];
+
+    const std::string& event = ev->string;
+    ++eng.event_counts[event];
+    if (const JsonValue* t = rec.find("t"); t != nullptr) {
+      eng.span = std::max(eng.span, static_cast<Time>(t->as_u64()));
+    }
+    const JsonValue* lat = rec.find("lat_ps");
+    if (lat != nullptr && lat->is_number()) {
+      eng.event_latency_ns[event].record(lat->as_u64() / kNanosecond);
+    }
+
+    if (event == "pkt_deliver") {
+      if (lat != nullptr && lat->is_number()) {
+        eng.pkt_latency_us.add(to_us(static_cast<Time>(lat->as_u64())));
+      }
+      if (const JsonValue* dst = rec.find("dst"); dst != nullptr) {
+        ++eng.deliveries_per_node[dst->as_i64()];
+      }
+      if (const JsonValue* hop = rec.find("hops"); hop != nullptr) {
+        eng.hops.add(hop->as_double());
+      }
+    } else if (event == "rvma_complete") {
+      const JsonValue* soft = rec.find("soft");
+      if (soft != nullptr && soft->as_i64() != 0) {
+        ++eng.soft_completions;
+      } else {
+        ++eng.completions;
+      }
+    } else if (event == "rvma_drop" || event == "rvma_nack") {
+      if (const JsonValue* reason = rec.find("reason"); reason != nullptr) {
+        if (reason->is_string()) {
+          ++eng.drops_per_reason[reason->string];
+        } else {
+          ++eng.drops_per_reason["code " + std::to_string(reason->as_i64())];
+        }
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void print_engine(std::int64_t id, const EngineTraceStats& eng,
+                  bool show_engine_header, std::FILE* out) {
+  if (show_engine_header) {
+    std::fprintf(out, "\n== engine %lld ==\n", static_cast<long long>(id));
+  }
+
+  Table events({"event", "count"});
+  for (const auto& [name, count] : eng.event_counts) {
+    events.add_row({name, std::to_string(count)});
+  }
+  events.print(out);
+
+  if (eng.pkt_latency_us.count() > 0) {
+    // Samples sorts lazily on percentile access; work on a copy so the
+    // analysis stays const.
+    Samples lat = eng.pkt_latency_us;
+    std::fprintf(out,
+                 "\npacket network latency (us): n=%zu mean=%.3f p50=%.3f "
+                 "p99=%.3f max=%.3f; mean hops=%.2f\n",
+                 lat.count(), lat.mean(), lat.percentile(50),
+                 lat.percentile(99), lat.max(), eng.hops.mean());
+  }
+
+  if (!eng.event_latency_ns.empty()) {
+    std::fprintf(out, "\nper-event latency (ns):\n");
+    Table lat({"event", "count", "mean", "p50", "p99", "max"});
+    for (const auto& [name, h] : eng.event_latency_ns) {
+      lat.add_row({name, std::to_string(h.count()),
+                   Table::stat_num(h.count(), h.mean()),
+                   Table::stat_num(h.count(), h.percentile(50.0)),
+                   Table::stat_num(h.count(), h.percentile(99.0)),
+                   Table::stat_num(h.count(), static_cast<double>(h.max()))});
+    }
+    lat.print(out);
+  }
+
+  std::fprintf(out, "\nRVMA completions: %llu hardware, %llu soft (inc_epoch)\n",
+               static_cast<unsigned long long>(eng.completions),
+               static_cast<unsigned long long>(eng.soft_completions));
+  if (!eng.drops_per_reason.empty()) {
+    std::fprintf(out, "drops by reason:\n");
+    for (const auto& [reason, count] : eng.drops_per_reason) {
+      std::fprintf(out, "  %s: %llu\n", reason.c_str(),
+                   static_cast<unsigned long long>(count));
+    }
+  }
+  if (!eng.deliveries_per_node.empty()) {
+    std::int64_t busiest = -1;
+    std::uint64_t most = 0;
+    for (const auto& [node, count] : eng.deliveries_per_node) {
+      if (count > most) {
+        most = count;
+        busiest = node;
+      }
+    }
+    std::fprintf(out, "deliveries to %zu nodes; busiest node %lld (%llu pkts)\n",
+                 eng.deliveries_per_node.size(),
+                 static_cast<long long>(busiest),
+                 static_cast<unsigned long long>(most));
+  }
+}
+
+}  // namespace
+
+void print_trace_analysis(const TraceAnalysis& analysis,
+                          const std::string& path, std::FILE* out) {
+  std::fprintf(out, "trace: %s (simulated span %s)\n", path.c_str(),
+               format_time(analysis.span()).c_str());
+  if (analysis.skipped > 0) {
+    std::fprintf(out, "note: skipped %llu unparseable line(s)\n",
+                 static_cast<unsigned long long>(analysis.skipped));
+  }
+  if (analysis.engines.size() > 1) {
+    std::fprintf(out, "%zu engines share this trace; stats are per engine\n",
+                 analysis.engines.size());
+  }
+  std::fprintf(out, "\n");
+  const bool headers = analysis.engines.size() > 1;
+  for (const auto& [id, eng] : analysis.engines) {
+    print_engine(id, eng, headers, out);
+  }
+}
+
+}  // namespace rvma::obs

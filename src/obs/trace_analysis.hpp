@@ -1,0 +1,61 @@
+// Offline analysis of RVMA_TRACE JSONL files.
+//
+// Shared by tools/trace_stats and `rvma_metrics trace`. Records are
+// grouped by the "eng" field Engine::set_tracer stamps on every line, so
+// a trace file collecting several engines through one global sink (e.g. a
+// serial grid run) no longer double-counts: latency distributions, drop
+// tallies, and completion counts are kept per engine.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "obs/metrics.hpp"
+
+namespace rvma::obs {
+
+/// Aggregates for the records of one engine (one "eng" value).
+struct EngineTraceStats {
+  std::map<std::string, std::uint64_t> event_counts;
+  std::map<std::int64_t, std::uint64_t> deliveries_per_node;
+  /// Drop reasons; string-valued "reason" fields verbatim, legacy numeric
+  /// codes rendered as "code <N>".
+  std::map<std::string, std::uint64_t> drops_per_reason;
+  Samples pkt_latency_us;  ///< pkt_deliver lat_ps (exact percentiles)
+  RunningStat hops;
+  /// Latency breakdown per event type, from any record carrying a lat_ps
+  /// field (pkt_deliver network latency, rvma_complete buffer latency...).
+  std::map<std::string, Histogram> event_latency_ns;
+  std::uint64_t completions = 0;
+  std::uint64_t soft_completions = 0;
+  Time span = 0;  ///< max record timestamp
+};
+
+struct TraceAnalysis {
+  /// Keyed by "eng" field; records without one land under engine 0.
+  std::map<std::int64_t, EngineTraceStats> engines;
+  std::uint64_t lines = 0;
+  std::uint64_t skipped = 0;  ///< unparseable / non-record lines
+
+  Time span() const {
+    Time s = 0;
+    for (const auto& [id, e] : engines) s = std::max(s, e.span);
+    return s;
+  }
+};
+
+/// Parse a JSONL trace file. Returns false only when the file cannot be
+/// opened (malformed lines are counted in `skipped`, not fatal).
+bool analyze_trace_file(const std::string& path, TraceAnalysis* out,
+                        std::string* error);
+
+/// Triage report: per-engine event counts, packet latency distribution,
+/// per-event latency breakdown, completions, drops, delivery spread.
+void print_trace_analysis(const TraceAnalysis& analysis,
+                          const std::string& path, std::FILE* out);
+
+}  // namespace rvma::obs

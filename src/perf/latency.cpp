@@ -47,7 +47,8 @@ nic::NicParams jittered(const nic::NicParams& base, Rng& rng) {
 std::vector<Time> run_rvma(const SystemProfile& profile,
                            const nic::NicParams& nic_params,
                            std::uint64_t bytes, int iters,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           obs::MetricsSnapshot* metrics_out) {
   nic::Cluster cluster(two_node_config(profile, seed), nic_params);
   core::RvmaEndpoint sender(cluster.nic(0), profile.rvma);
   core::RvmaEndpoint receiver(cluster.nic(1), profile.rvma);
@@ -90,13 +91,15 @@ std::vector<Time> run_rvma(const SystemProfile& profile,
   });
   engine.run();
   assert(st.remaining == 0 || iters == 0);
+  if (metrics_out != nullptr) metrics_out->merge(cluster.collect_metrics());
   return lat;
 }
 
 std::vector<Time> run_rdma(const SystemProfile& profile,
                            const nic::NicParams& nic_params, bool adaptive,
                            std::uint64_t bytes, int iters,
-                           std::uint64_t seed) {
+                           std::uint64_t seed,
+                           obs::MetricsSnapshot* metrics_out) {
   nic::Cluster cluster(two_node_config(profile, seed), nic_params);
   rdma::RdmaEndpoint sender(cluster.nic(0), profile.rdma);
   rdma::RdmaEndpoint receiver(cluster.nic(1), profile.rdma);
@@ -162,6 +165,7 @@ std::vector<Time> run_rdma(const SystemProfile& profile,
   });
   engine.run();
   assert(st->remaining == 0 || iters == 0);
+  if (metrics_out != nullptr) metrics_out->merge(cluster.collect_metrics());
   return lat;
 }
 
@@ -176,7 +180,8 @@ double mean_us(const std::vector<Time>& samples) {
 
 LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
                                   std::uint64_t bytes, int iters, int runs,
-                                  std::uint64_t seed) {
+                                  std::uint64_t seed,
+                                  obs::MetricsSnapshot* metrics_out) {
   Rng rng(seed ^ 0x6c617465ULL);
   Samples run_means;
   for (int run = 0; run < runs; ++run) {
@@ -185,13 +190,16 @@ LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
     std::vector<Time> samples;
     switch (mode) {
       case Mode::kRvma:
-        samples = run_rvma(profile, nic_params, bytes, iters, run_seed);
+        samples =
+            run_rvma(profile, nic_params, bytes, iters, run_seed, metrics_out);
         break;
       case Mode::kRdmaStatic:
-        samples = run_rdma(profile, nic_params, false, bytes, iters, run_seed);
+        samples = run_rdma(profile, nic_params, false, bytes, iters, run_seed,
+                           metrics_out);
         break;
       case Mode::kRdmaAdaptive:
-        samples = run_rdma(profile, nic_params, true, bytes, iters, run_seed);
+        samples = run_rdma(profile, nic_params, true, bytes, iters, run_seed,
+                           metrics_out);
         break;
     }
     run_means.add(mean_us(samples));
@@ -207,17 +215,20 @@ LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
 }
 
 Time measure_one_put(const SystemProfile& profile, Mode mode,
-                     std::uint64_t bytes, std::uint64_t seed) {
+                     std::uint64_t bytes, std::uint64_t seed,
+                     obs::MetricsSnapshot* metrics_out) {
   std::vector<Time> samples;
   switch (mode) {
     case Mode::kRvma:
-      samples = run_rvma(profile, profile.nic, bytes, 1, seed);
+      samples = run_rvma(profile, profile.nic, bytes, 1, seed, metrics_out);
       break;
     case Mode::kRdmaStatic:
-      samples = run_rdma(profile, profile.nic, false, bytes, 1, seed);
+      samples =
+          run_rdma(profile, profile.nic, false, bytes, 1, seed, metrics_out);
       break;
     case Mode::kRdmaAdaptive:
-      samples = run_rdma(profile, profile.nic, true, bytes, 1, seed);
+      samples =
+          run_rdma(profile, profile.nic, true, bytes, 1, seed, metrics_out);
       break;
   }
   assert(samples.size() == 1);

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "perf/profiles.hpp"
 
 namespace rvma::perf {
@@ -32,14 +33,18 @@ struct LatencyResult {
 /// Average one-way put latency for `bytes` payloads; `runs` independent
 /// simulations (seeded per run with ±2% host-overhead variation to model
 /// run-to-run system noise) of `iters` serialized iterations each.
+/// When `metrics_out` is non-null every run's registry snapshot is merged
+/// into it (in run order), for --metrics emission.
 LatencyResult measure_put_latency(const SystemProfile& profile, Mode mode,
                                   std::uint64_t bytes, int iters, int runs,
-                                  std::uint64_t seed);
+                                  std::uint64_t seed,
+                                  obs::MetricsSnapshot* metrics_out = nullptr);
 
 /// Exact one-way latency of a single put with no run-to-run jitter — the
 /// validation hook compared against the analytic pipeline model.
 Time measure_one_put(const SystemProfile& profile, Mode mode,
-                     std::uint64_t bytes, std::uint64_t seed = 1);
+                     std::uint64_t bytes, std::uint64_t seed = 1,
+                     obs::MetricsSnapshot* metrics_out = nullptr);
 
 /// RDMA buffer setup cost: the full negotiation (request, target-side
 /// allocation + registration, reply) for a region of `bytes`, measured by

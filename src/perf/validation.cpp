@@ -77,8 +77,9 @@ Time predict_put_latency(const SystemProfile& profile, Mode mode,
 }
 
 Time measure_put_latency_exact(const SystemProfile& profile, Mode mode,
-                               std::uint64_t bytes, std::uint64_t seed) {
-  return measure_one_put(profile, mode, bytes, seed);
+                               std::uint64_t bytes, std::uint64_t seed,
+                               obs::MetricsSnapshot* metrics_out) {
+  return measure_one_put(profile, mode, bytes, seed, metrics_out);
 }
 
 double effective_bandwidth_gbps(const SystemProfile& profile, Mode mode,
@@ -91,11 +92,13 @@ double effective_bandwidth_gbps(const SystemProfile& profile, Mode mode,
 }
 
 ValidationRow validate_point(const SystemProfile& profile, Mode mode,
-                             std::uint64_t bytes, std::uint64_t seed) {
+                             std::uint64_t bytes, std::uint64_t seed,
+                             obs::MetricsSnapshot* metrics_out) {
   ValidationRow row;
   row.bytes = bytes;
   row.predicted = predict_put_latency(profile, mode, bytes);
-  row.simulated = measure_put_latency_exact(profile, mode, bytes, seed);
+  row.simulated =
+      measure_put_latency_exact(profile, mode, bytes, seed, metrics_out);
   return row;
 }
 

@@ -28,8 +28,10 @@ Time predict_put_latency(const SystemProfile& profile, Mode mode,
 /// suitable for exact comparison against predict_put_latency. `seed`
 /// feeds the network RNG; the two-node star is routing-deterministic, so
 /// it must not change the result (validation asserts exactness anyway).
+/// A non-null `metrics_out` receives the run's merged registry snapshot.
 Time measure_put_latency_exact(const SystemProfile& profile, Mode mode,
-                               std::uint64_t bytes, std::uint64_t seed = 1);
+                               std::uint64_t bytes, std::uint64_t seed = 1,
+                               obs::MetricsSnapshot* metrics_out = nullptr);
 
 /// Effective bandwidth (payload bits per second of one-way latency) for a
 /// large transfer; should approach the link rate as size grows.
@@ -55,8 +57,11 @@ std::vector<ValidationRow> validate_mode(const SystemProfile& profile,
                                          std::uint64_t seed = 1);
 
 /// One validation point (analytic prediction + one simulation) — the unit
-/// of work the parallel validation sweep fans out.
+/// of work the parallel validation sweep fans out. A non-null
+/// `metrics_out` receives the simulated run's registry snapshot, so the
+/// sweep can carry per-point metrics back for grid-order aggregation.
 ValidationRow validate_point(const SystemProfile& profile, Mode mode,
-                             std::uint64_t bytes, std::uint64_t seed = 1);
+                             std::uint64_t bytes, std::uint64_t seed = 1,
+                             obs::MetricsSnapshot* metrics_out = nullptr);
 
 }  // namespace rvma::perf

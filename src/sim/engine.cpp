@@ -3,7 +3,15 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/sampler.hpp"
+
 namespace rvma::sim {
+
+void Engine::set_sampler(obs::Sampler* sampler) {
+  sampler_ = sampler;
+  sampler_due_ =
+      sampler_ != nullptr ? sampler_->next_due() : kTimeInfinity;
+}
 
 Engine::HeapEntry Engine::heap_pop() {
   const HeapEntry top = heap_.front();
@@ -35,6 +43,13 @@ bool Engine::step() {
   const HeapEntry top = heap_pop();
   now_ = top.time;
   ++executed_;
+  // Sampling hook: the callback for `top` has not run yet, so the state
+  // visible here is exactly the state at every period boundary in
+  // (previous event, now] — the sampler stamps those rows without adding
+  // engine events. One comparison when no sampler is armed.
+  if (now_ >= sampler_due_) {
+    sampler_due_ = sampler_->on_tick(now_);
+  }
   Slot& s = slot(top.slot);
   // Invoke in place: slot pages never move, so callbacks scheduled during
   // fn() (which may grow the pool) cannot invalidate the running callable.

@@ -24,6 +24,10 @@
 #include "common/units.hpp"
 #include "sim/callback.hpp"
 
+namespace rvma::obs {
+class Sampler;
+}
+
 namespace rvma::sim {
 
 class Engine {
@@ -43,15 +47,36 @@ class Engine {
   /// engine its own sink — or nullptr to disable — so no unsynchronized
   /// shared state remains on the event hot path.
   Tracer* tracer() const { return tracer_; }
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Set the trace sink, stamping `eng_id` into every record's "eng"
+  /// field so analyses can separate engines sharing one sink (a serial
+  /// sweep writing through the global tracer). Grid runners pass the run
+  /// index; the default 0 keeps single-run traces deterministic.
+  void set_tracer(Tracer* tracer, std::int64_t eng_id = 0) {
+    tracer_ = tracer;
+    eng_id_ = eng_id;
+  }
+  std::int64_t eng_id() const { return eng_id_; }
 
   /// Record a trace event at now() into this engine's sink, if enabled.
   void trace(std::string_view event,
              std::initializer_list<Tracer::Field> fields) {
     if (tracer_ != nullptr && tracer_->enabled()) {
-      tracer_->record(now_, event, fields);
+      tracer_->record(now_, event, eng_id_, fields);
     }
   }
+
+  /// Attach a metrics sampler (obs/sampler.hpp). The engine consults it
+  /// before executing the first event at or past each period boundary —
+  /// the engine is quiescent between events, so the boundary state is
+  /// observed exactly, without scheduling any events of its own (event
+  /// counts and tie-break order are untouched). Pass nullptr to detach.
+  void set_sampler(obs::Sampler* sampler);
+  obs::Sampler* sampler() const { return sampler_; }
+
+  /// Sequence numbers handed out so far == events ever scheduled or
+  /// reserved on this engine.
+  std::uint64_t scheduled_events() const { return next_seq_; }
 
   /// Schedule `fn` to run at absolute time `t` (must be >= now()).
   /// Templated so the callable is constructed directly in its event slot —
@@ -188,6 +213,11 @@ class Engine {
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   Tracer* tracer_ = &Tracer::global();
+  std::int64_t eng_id_ = 0;
+  obs::Sampler* sampler_ = nullptr;
+  /// Next sampling boundary; kTimeInfinity keeps the step() hook to one
+  /// always-false comparison when no sampler is armed.
+  Time sampler_due_ = kTimeInfinity;
 };
 
 }  // namespace rvma::sim

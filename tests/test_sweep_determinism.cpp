@@ -95,6 +95,47 @@ TEST(SweepDeterminism, PerRunTraceSinksAreReproducible) {
   std::remove(path_b.c_str());
 }
 
+TEST(SweepDeterminism, MetricsJsonIdenticalAcrossJobCounts) {
+  MotifBenchConfig bench = mini_bench();
+  bench.sample_period = 2 * kMicrosecond;
+  std::vector<TopoCase> cases(figure_topo_cases().begin(),
+                              figure_topo_cases().begin() + 3);
+
+  const std::vector<MotifCell> serial = run_motif_grid(bench, cases, 1);
+  const std::vector<MotifCell> parallel = run_motif_grid(bench, cases, 4);
+  const obs::MetricsDoc doc_s = build_motif_metrics_doc(bench, cases, serial);
+  const obs::MetricsDoc doc_p =
+      build_motif_metrics_doc(bench, cases, parallel);
+
+  // The serialized document — the exact bytes --metrics writes — must be
+  // identical at any job count.
+  const std::string json_s = obs::to_json(doc_s);
+  EXPECT_EQ(json_s, obs::to_json(doc_p));
+
+  // And it must actually contain the observability payload: counters,
+  // a populated latency histogram, and sampled gauge timeseries.
+  EXPECT_GT(doc_s.totals.counters.at("fabric.packets_delivered"), 0u);
+  ASSERT_TRUE(doc_s.totals.histograms.count("fabric.pkt_latency_ns"));
+  EXPECT_GT(doc_s.totals.histograms.at("fabric.pkt_latency_ns").count, 0u);
+  ASSERT_FALSE(doc_s.timeseries.empty());
+  for (const obs::Timeseries& ts : doc_s.timeseries) {
+    EXPECT_FALSE(ts.empty());
+    EXPECT_FALSE(ts.label.empty());
+    EXPECT_EQ(ts.period, bench.sample_period);
+  }
+
+  // Sampling must not perturb the simulation: same makespans and event
+  // counts as the unsampled grid.
+  const std::vector<MotifCell> unsampled =
+      run_motif_grid(mini_bench(), cases, 1);
+  ASSERT_EQ(unsampled.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].rvma.makespan, unsampled[i].rvma.makespan) << i;
+    EXPECT_EQ(serial[i].rdma.engine_events, unsampled[i].rdma.engine_events)
+        << i;
+  }
+}
+
 TEST(SweepDeterminism, StaticRoutingUsesNextHopCache) {
   const MotifBenchConfig bench = mini_bench();
   const MotifRunOutput cached =

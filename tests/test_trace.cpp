@@ -10,6 +10,7 @@
 
 #include "common/trace.hpp"
 #include "core/endpoint.hpp"
+#include "sim/engine.hpp"
 
 namespace rvma {
 namespace {
@@ -81,6 +82,45 @@ TEST_F(TraceTest, HooksCoverPutLifecycle) {
   EXPECT_GE(delivers, 2);
   EXPECT_EQ(completes, 1);
   EXPECT_EQ(drops, 1);
+}
+
+TEST_F(TraceTest, StringFieldsAreQuoted) {
+  Tracer tracer;
+  ASSERT_TRUE(tracer.open(path_));
+  tracer.record(10, "nack", {{"reason", "kNoBuffer"}, {"code", 3}});
+  tracer.close();
+
+  const auto lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0],
+            "{\"t\":10,\"ev\":\"nack\",\"reason\":\"kNoBuffer\",\"code\":3}");
+}
+
+TEST_F(TraceTest, EngineIdIsStampedWhenNonNegative) {
+  Tracer tracer;
+  ASSERT_TRUE(tracer.open(path_));
+  tracer.record(10, "evt", /*eng=*/7, {{"a", 1}});
+  tracer.record(20, "evt", /*eng=*/-1, {});  // omitted: legacy layout
+  tracer.close();
+
+  const auto lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"t\":10,\"ev\":\"evt\",\"eng\":7,\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"t\":20,\"ev\":\"evt\"}");
+}
+
+TEST_F(TraceTest, EngineStampsItsIdIntoTraceRecords) {
+  Tracer tracer;
+  ASSERT_TRUE(tracer.open(path_));
+  sim::Engine engine;
+  engine.set_tracer(&tracer, /*eng_id=*/42);
+  engine.schedule(5, [&] { engine.trace("tick", {{"n", 1}}); });
+  engine.run();
+  tracer.close();
+
+  const auto lines = read_lines(path_);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"eng\":42"), std::string::npos) << lines[0];
 }
 
 TEST_F(TraceTest, ReopenTruncates) {

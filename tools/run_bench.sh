@@ -8,6 +8,11 @@
 # executor's determinism contract), and the parallel run's JSON gains a
 # speedup_vs_serial field computed from the serial wall-clock.
 #
+# Both runs also emit --metrics documents; the script asserts they are
+# byte-identical (the metrics determinism contract) and gates them
+# through `rvma_metrics check` (schema + required instruments +
+# histogram + timeseries).
+#
 # Usage: tools/run_bench.sh [build-dir]
 set -eu
 
@@ -15,7 +20,8 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build_dir" --target engine_throughput fig8_halo3d -j "$(nproc)"
+cmake --build "$build_dir" --target engine_throughput fig8_halo3d \
+  rvma_metrics -j "$(nproc)"
 
 "$build_dir/bench/engine_throughput" "$repo_root/BENCH_engine.json"
 
@@ -26,26 +32,46 @@ trap 'rm -rf "$tmp_dir"' EXIT
 
 echo "sweep: serial run (--jobs=1)"
 "$build_dir/bench/fig8_halo3d" --quick --jobs=1 \
-  --json="$tmp_dir/serial.json" > "$tmp_dir/serial.txt"
+  --json="$tmp_dir/serial.json" \
+  --metrics="$tmp_dir/serial_metrics.json" > "$tmp_dir/serial.txt"
 serial_wall=$(sed -n 's/.*"wall_seconds": \([0-9.]*\).*/\1/p' \
   "$tmp_dir/serial.json")
 
 echo "sweep: parallel run (--jobs=$jobs)"
 "$build_dir/bench/fig8_halo3d" --quick --jobs="$jobs" \
   --json="$repo_root/BENCH_sweep.json" \
+  --metrics="$tmp_dir/parallel_metrics.json" \
   --serial-wall-s="$serial_wall" > "$tmp_dir/parallel.txt"
 
 # The tables must be byte-identical regardless of job count; only the
-# wall-clock/speedup footer lines may differ.
-grep -v '^grid wall-clock\|^speedup vs serial' "$tmp_dir/serial.txt" \
-  > "$tmp_dir/serial_table.txt"
-grep -v '^grid wall-clock\|^speedup vs serial' "$tmp_dir/parallel.txt" \
-  > "$tmp_dir/parallel_table.txt"
+# wall-clock/speedup footer lines and the metrics-path status line (each
+# run writes its own file) may differ.
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/serial.txt" > "$tmp_dir/serial_table.txt"
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/parallel.txt" > "$tmp_dir/parallel_table.txt"
 if ! diff -u "$tmp_dir/serial_table.txt" "$tmp_dir/parallel_table.txt"; then
   echo "ERROR: parallel sweep output differs from serial" >&2
   exit 1
 fi
 echo "sweep: tables identical at jobs=1 and jobs=$jobs"
+
+# --- Metrics smoke gate -------------------------------------------------
+# The metrics documents must be byte-identical across job counts, parse
+# cleanly, and contain the required instruments, a populated latency
+# histogram, and sampled gauge timeseries.
+if ! cmp -s "$tmp_dir/serial_metrics.json" "$tmp_dir/parallel_metrics.json"
+then
+  echo "ERROR: metrics document differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+"$build_dir/tools/rvma_metrics" check "$tmp_dir/parallel_metrics.json" \
+  fabric.packets_delivered fabric.pkt_latency_ns rvma.completions \
+  engine.events_executed nic.messages_sent \
+  --need-histogram --need-timeseries
+"$build_dir/tools/rvma_metrics" summarize "$tmp_dir/parallel_metrics.json" \
+  > /dev/null
+echo "metrics: documents identical, schema + instruments validated"
 
 cat "$tmp_dir/parallel.txt"
 echo "wrote $repo_root/BENCH_sweep.json"

@@ -16,10 +16,11 @@ build_dir=${1:-"$repo_root/build-tsan"}
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
 cmake --build "$build_dir" --target \
-  test_sweep_executor test_sweep_determinism test_fabric_features \
+  test_sweep_executor test_sweep_determinism test_fabric_features test_obs \
   -j "$(nproc)"
 
-for test in test_sweep_executor test_sweep_determinism test_fabric_features
+for test in test_sweep_executor test_sweep_determinism test_fabric_features \
+  test_obs
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"

@@ -1,139 +1,34 @@
 // trace_stats: offline analysis of an RVMA_TRACE JSONL file.
 //
 // Reads the event stream the tracer emits (pkt_inject / pkt_deliver /
-// rvma_complete / rvma_drop) and prints: event counts, the packet network
-// latency distribution (log2 histogram + percentiles), per-node delivery
-// counts, and drop reasons — the quick triage view for a simulation run.
+// rvma_complete / rvma_drop / rvma_nack) and prints: event counts, the
+// packet network latency distribution, per-event latency percentiles,
+// per-node delivery counts, and drop reasons — the quick triage view for
+// a simulation run. Records carrying an "eng" field (stamped by
+// Engine::set_tracer) are grouped per engine, so a serial sweep writing
+// every run through one shared trace file is no longer double-counted.
+//
+// The heavy lifting lives in obs/trace_analysis (shared with the
+// `rvma_metrics trace` subcommand); this binary is the classic entry
+// point kept for scripts and muscle memory.
 //
 // Usage: trace_stats <trace.jsonl>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <map>
 #include <string>
 
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "common/units.hpp"
-
-namespace {
-
-/// Extract the integer field `key` from a single-line JSON object of the
-/// rigid form the tracer writes ({"k":123,...}); returns false if absent.
-bool json_int(const std::string& line, const char* key, long long* out) {
-  const std::string needle = std::string("\"") + key + "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string::npos) return false;
-  *out = std::strtoll(line.c_str() + pos + needle.size(), nullptr, 10);
-  return true;
-}
-
-bool json_event(const std::string& line, std::string* out) {
-  const auto pos = line.find("\"ev\":\"");
-  if (pos == std::string::npos) return false;
-  const auto start = pos + 6;
-  const auto end = line.find('"', start);
-  if (end == std::string::npos) return false;
-  *out = line.substr(start, end - start);
-  return true;
-}
-
-}  // namespace
+#include "obs/trace_analysis.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 2) {
     std::fprintf(stderr, "usage: trace_stats <trace.jsonl>\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "trace_stats: cannot open %s\n", argv[1]);
+  rvma::obs::TraceAnalysis analysis;
+  std::string error;
+  if (!rvma::obs::analyze_trace_file(argv[1], &analysis, &error)) {
+    std::fprintf(stderr, "trace_stats: %s\n", error.c_str());
     return 2;
   }
-
-  std::map<std::string, std::uint64_t> event_counts;
-  std::map<long long, std::uint64_t> deliveries_per_node;
-  std::map<long long, std::uint64_t> drops_per_reason;
-  rvma::Samples pkt_latency_us;
-  rvma::Log2Histogram lat_hist_ns;
-  rvma::RunningStat hops;
-  std::uint64_t completions = 0, soft_completions = 0;
-  long long t_last = 0;
-
-  for (std::string line; std::getline(in, line);) {
-    std::string event;
-    if (!json_event(line, &event)) continue;
-    ++event_counts[event];
-    long long t = 0;
-    if (json_int(line, "t", &t)) t_last = std::max(t_last, t);
-
-    if (event == "pkt_deliver") {
-      long long lat = 0, dst = 0, hop = 0;
-      if (json_int(line, "lat_ps", &lat)) {
-        pkt_latency_us.add(rvma::to_us(static_cast<rvma::Time>(lat)));
-        lat_hist_ns.add(static_cast<std::uint64_t>(lat) / rvma::kNanosecond);
-      }
-      if (json_int(line, "dst", &dst)) ++deliveries_per_node[dst];
-      if (json_int(line, "hops", &hop)) hops.add(static_cast<double>(hop));
-    } else if (event == "rvma_complete") {
-      long long soft = 0;
-      json_int(line, "soft", &soft);
-      soft != 0 ? ++soft_completions : ++completions;
-    } else if (event == "rvma_drop") {
-      long long reason = 0;
-      json_int(line, "reason", &reason);
-      ++drops_per_reason[reason];
-    }
-  }
-
-  std::printf("trace: %s (simulated span %s)\n\n", argv[1],
-              rvma::format_time(static_cast<rvma::Time>(t_last)).c_str());
-
-  rvma::Table events({"event", "count"});
-  for (const auto& [name, count] : event_counts) {
-    events.add_row({name, std::to_string(count)});
-  }
-  events.print();
-
-  if (pkt_latency_us.count() > 0) {
-    std::printf("\npacket network latency (us): n=%zu mean=%.3f p50=%.3f "
-                "p99=%.3f max=%.3f; mean hops=%.2f\n",
-                pkt_latency_us.count(), pkt_latency_us.mean(),
-                pkt_latency_us.percentile(50), pkt_latency_us.percentile(99),
-                pkt_latency_us.max(), hops.mean());
-    std::printf("latency histogram (ns, log2 buckets):\n");
-    for (int b = 0; b <= rvma::Log2Histogram::kBuckets; ++b) {
-      const auto count = lat_hist_ns.bucket_count(b);
-      if (count == 0) continue;
-      std::printf("  >= %8llu ns : %llu\n",
-                  static_cast<unsigned long long>(
-                      rvma::Log2Histogram::bucket_floor(b)),
-                  static_cast<unsigned long long>(count));
-    }
-  }
-
-  std::printf("\nRVMA completions: %llu hardware, %llu soft (inc_epoch)\n",
-              static_cast<unsigned long long>(completions),
-              static_cast<unsigned long long>(soft_completions));
-  if (!drops_per_reason.empty()) {
-    std::printf("drops by reason code:\n");
-    for (const auto& [reason, count] : drops_per_reason) {
-      std::printf("  reason %lld: %llu\n", reason,
-                  static_cast<unsigned long long>(count));
-    }
-  }
-  if (!deliveries_per_node.empty()) {
-    long long busiest = -1;
-    std::uint64_t most = 0;
-    for (const auto& [node, count] : deliveries_per_node) {
-      if (count > most) {
-        most = count;
-        busiest = node;
-      }
-    }
-    std::printf("deliveries to %zu nodes; busiest node %lld (%llu pkts)\n",
-                deliveries_per_node.size(), busiest,
-                static_cast<unsigned long long>(most));
-  }
+  rvma::obs::print_trace_analysis(analysis, argv[1], stdout);
   return 0;
 }
