@@ -17,7 +17,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <new>
+#include <vector>
 
 #include "net/topology.hpp"
 #include "nic/nic.hpp"
@@ -156,37 +158,59 @@ struct FabricStatsOut {
   double events_per_sec = 0;
   double allocs_per_packet = 0;
   std::uint64_t packets = 0;
+  std::uint64_t express_commits = 0;
+  std::uint64_t express_fallbacks = 0;
 };
 
-FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes) {
+/// Traffic shape: kRing streams node -> node+1 (disjoint paths, the express
+/// fast path's best case); kIncast streams every node -> node 0 (ejection
+/// contention, the express fallback's worst case).
+enum class Pattern { kRing, kIncast };
+
+FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes,
+                            Pattern pattern, bool express) {
   namespace net = rvma::net;
   namespace nic = rvma::nic;
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 8;
+  cfg.express = express;
   nic::Cluster cluster(cfg, nic::NicParams{});
   const int n = cluster.num_nodes();
+  // Each sender keeps a small window of messages in flight and re-arms when
+  // the *last packet of a message is delivered* (not when it is injected:
+  // injection-time re-arm grows the in-flight population without bound,
+  // which measures ramp allocation instead of steady state).
+  constexpr int kWindow = 2;
+  std::vector<int> outstanding(static_cast<std::size_t>(n), 0);
+  std::uint64_t sent = 0;
   std::uint64_t received = 0;
+  std::function<void(int)> send_next = [&](int node) {
+    while (outstanding[static_cast<std::size_t>(node)] < kWindow &&
+           sent < messages) {
+      ++sent;
+      ++outstanding[static_cast<std::size_t>(node)];
+      net::Message msg;
+      msg.src = node;
+      msg.dst = pattern == Pattern::kIncast ? 0 : (node + 1) % n;
+      msg.bytes = msg_bytes;
+      msg.hdr.kind = net::make_kind(nic::kProtoRdma, 1);
+      cluster.nic(node).send(std::move(msg), [] {});
+    }
+  };
   for (int node = 0; node < n; ++node) {
     cluster.nic(node).register_proto(
-        nic::kProtoRdma, [&received](const net::Packet&) { ++received; });
+        nic::kProtoRdma, [&](const net::Packet& pkt) {
+          ++received;
+          if (pkt.seq + 1 == pkt.total) {
+            --outstanding[static_cast<std::size_t>(pkt.src)];
+            send_next(pkt.src);
+          }
+        });
   }
-  // Every node streams fixed-size messages to its neighbor; each send is
-  // re-armed from the previous send's completion so the fabric stays busy
-  // without unbounded queue growth.
-  std::uint64_t sent = 0;
-  std::function<void(int)> send_next = [&](int node) {
-    if (sent >= messages) return;
-    ++sent;
-    net::Message msg;
-    msg.dst = (node + 1) % n;
-    msg.bytes = msg_bytes;
-    msg.hdr.kind = net::make_kind(nic::kProtoRdma, 1);
-    cluster.nic(node).send(std::move(msg), [&send_next, node] {
-      send_next(node);
-    });
-  };
-  for (int node = 0; node < n; ++node) send_next(node);
+  for (int node = pattern == Pattern::kIncast ? 1 : 0; node < n; ++node) {
+    send_next(node);
+  }
   // Warm-up slice.
   for (int i = 0; i < 20000 && cluster.engine().step(); ++i) {
   }
@@ -207,6 +231,9 @@ FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes) {
   out.events_per_sec = static_cast<double>(events) / dt;
   out.allocs_per_packet =
       static_cast<double>(g_alloc_count - allocs_before) / pkts;
+  out.express_commits = cluster.network().fabric().stats().express_commits;
+  out.express_fallbacks = cluster.network().fabric().stats().express_fallbacks;
+  if (received == 0) std::printf("unreachable\n");
   return out;
 }
 
@@ -227,17 +254,34 @@ int main(int argc, char** argv) {
 
   const RunStats chain = bench_chain(4'000'000);
   const RunStats fanout = bench_fanout(2'000'000, 4096);
-  const FabricStatsOut fabric = bench_fabric(40'000, 64 * 1024);
+  const FabricStatsOut fabric =
+      bench_fabric(40'000, 64 * 1024, Pattern::kRing, true);
+  const FabricStatsOut fabric_hop =
+      bench_fabric(40'000, 64 * 1024, Pattern::kRing, false);
+  const FabricStatsOut incast =
+      bench_fabric(20'000, 64 * 1024, Pattern::kIncast, true);
+  const FabricStatsOut incast_hop =
+      bench_fabric(20'000, 64 * 1024, Pattern::kIncast, false);
 
   const double speedup = chain.events_per_sec / kBaselineChainEventsPerSec;
+  const double express_speedup =
+      fabric.packets_per_sec / fabric_hop.packets_per_sec;
 
   std::printf("chain : %.2fM events/s, %.3f allocs/event\n",
               chain.events_per_sec / 1e6, chain.allocs_per_event);
   std::printf("fanout: %.2fM events/s, %.3f allocs/event\n",
               fanout.events_per_sec / 1e6, fanout.allocs_per_event);
-  std::printf("fabric: %.2fM packets/s, %.2fM events/s, %.3f allocs/packet\n",
-              fabric.packets_per_sec / 1e6, fabric.events_per_sec / 1e6,
-              fabric.allocs_per_packet);
+  std::printf(
+      "fabric: %.2fM packets/s, %.2fM events/s, %.3f allocs/packet "
+      "(%llu express commits, %llu fallbacks)\n",
+      fabric.packets_per_sec / 1e6, fabric.events_per_sec / 1e6,
+      fabric.allocs_per_packet,
+      static_cast<unsigned long long>(fabric.express_commits),
+      static_cast<unsigned long long>(fabric.express_fallbacks));
+  std::printf("fabric --no-express: %.2fM packets/s (%.2fx express speedup)\n",
+              fabric_hop.packets_per_sec / 1e6, express_speedup);
+  std::printf("incast: %.2fM packets/s express, %.2fM packets/s hop-by-hop\n",
+              incast.packets_per_sec / 1e6, incast_hop.packets_per_sec / 1e6);
   std::printf("speedup vs seed baseline (chain): %.2fx\n", speedup);
 
   FILE* f = std::fopen(out_path, "w");
@@ -262,16 +306,27 @@ int main(int argc, char** argv) {
                "    \"fanout_allocs_per_event\": %.3f,\n"
                "    \"fabric_packets_per_sec\": %.0f,\n"
                "    \"fabric_events_per_sec\": %.0f,\n"
-               "    \"fabric_allocs_per_packet\": %.3f\n"
+               "    \"fabric_allocs_per_packet\": %.3f,\n"
+               "    \"fabric_express_commits\": %llu,\n"
+               "    \"fabric_noexpress_packets_per_sec\": %.0f,\n"
+               "    \"fabric_noexpress_allocs_per_packet\": %.3f,\n"
+               "    \"incast_packets_per_sec\": %.0f,\n"
+               "    \"incast_noexpress_packets_per_sec\": %.0f,\n"
+               "    \"incast_allocs_per_packet\": %.3f\n"
                "  },\n"
-               "  \"speedup_chain_events_per_sec\": %.3f\n"
+               "  \"speedup_chain_events_per_sec\": %.3f,\n"
+               "  \"speedup_fabric_express_vs_noexpress\": %.3f\n"
                "}\n",
                kBaselineChainEventsPerSec, kBaselineFanoutEventsPerSec,
                kBaselinePacketsPerSec, kBaselineAllocsPerEvent,
                chain.events_per_sec, chain.allocs_per_event,
                fanout.events_per_sec, fanout.allocs_per_event,
                fabric.packets_per_sec, fabric.events_per_sec,
-               fabric.allocs_per_packet, speedup);
+               fabric.allocs_per_packet,
+               static_cast<unsigned long long>(fabric.express_commits),
+               fabric_hop.packets_per_sec, fabric_hop.allocs_per_packet,
+               incast.packets_per_sec, incast_hop.packets_per_sec,
+               incast.allocs_per_packet, speedup, express_speedup);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -253,10 +253,10 @@ void RvmaEndpoint::get(NodeId dst, std::uint64_t vaddr, std::uint64_t offset,
 
 void RvmaEndpoint::send_nack(NodeId to, net::Pid to_pid, std::uint64_t vaddr,
                              Status reason) {
-  engine_.trace("rvma_drop",
-                {{"node", node()},
-                 {"vaddr", static_cast<std::int64_t>(vaddr)},
-                 {"reason", to_string(reason)}});
+  RVMA_ETRACE(engine_, "rvma_drop",
+              {{"node", node()},
+               {"vaddr", static_cast<std::int64_t>(vaddr)},
+               {"reason", to_string(reason)}});
   if (!params_.nacks_enabled) return;
   ++stats_.nacks_sent;
   c_nacks_sent_->inc();
@@ -485,13 +485,13 @@ void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
     ++stats_.completions;
     c_completions_->inc();
   }
-  engine_.trace("rvma_complete",
-                {{"node", node()},
-                 {"vaddr", static_cast<std::int64_t>(vaddr)},
-                 {"len", len},
-                 {"epoch", mb.epoch()},
-                 {"soft", soft ? 1 : 0},
-                 {"lat_ps", static_cast<std::int64_t>(lat)}});
+  RVMA_ETRACE(engine_, "rvma_complete",
+              {{"node", node()},
+               {"vaddr", static_cast<std::int64_t>(vaddr)},
+               {"len", len},
+               {"epoch", mb.epoch()},
+               {"soft", soft ? 1 : 0},
+               {"lat_ps", static_cast<std::int64_t>(lat)}});
   if (mb.has_active()) {
     assign_counter(mb.active());
   }

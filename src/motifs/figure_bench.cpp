@@ -58,6 +58,7 @@ MotifRunOutput run_motif_once(const MotifBenchConfig& bench,
   cfg.switch_latency = 100 * kNanosecond;
   cfg.xbar_factor = 1.5;  // crossbar always 50% above link bw (paper §V-B1)
   cfg.seed = seed;
+  cfg.express = bench.express;
 
   nic::Cluster cluster(cfg, nic::NicParams{});
   // Stamp the run id even when keeping the process-default sink: serial
@@ -204,6 +205,7 @@ int run_motif_figure(MotifBenchConfig bench, int argc, char** argv) {
   bench.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(bench.seed)));
   const bool quick = cli.get_bool("quick", false);
+  bench.express = !cli.get_bool("no-express", false);
   const int jobs = static_cast<int>(cli.get_int("jobs", 0));
   const std::string json_path = cli.get("json", "");
   const std::string metrics_path = cli.get("metrics", "");

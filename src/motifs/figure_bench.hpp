@@ -39,6 +39,10 @@ struct MotifBenchConfig {
   /// Sampling observes the engine between events and schedules nothing,
   /// so enabling it changes no simulation result (see obs/sampler.hpp).
   Time sample_period = 0;
+  /// Express cut-through ablation (--no-express): disabling it must not
+  /// change any simulation result — makespans, stats, and metrics stay
+  /// byte-identical, only wall-clock differs (DESIGN.md §8).
+  bool express = true;
 };
 
 /// One (topology, routing) row of the paper's Figure 7/8 grids.
@@ -117,9 +121,9 @@ obs::MetricsDoc build_motif_metrics_doc(const MotifBenchConfig& bench,
                                         const std::vector<MotifCell>& cells);
 
 /// CLI driver shared by fig7_sweep3d / fig8_halo3d: parses --nodes,
-/// --rdma-slots, --quick, --jobs, --seed, --json, --metrics,
-/// --metrics-period-us, --serial-wall-s; runs the grid and prints the
-/// table plus a wall-clock footer.
+/// --rdma-slots, --quick, --no-express, --jobs, --seed, --json,
+/// --metrics, --metrics-period-us, --serial-wall-s; runs the grid and
+/// prints the table plus a wall-clock footer.
 int run_motif_figure(MotifBenchConfig bench, int argc, char** argv);
 
 }  // namespace rvma::motifs

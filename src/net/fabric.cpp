@@ -23,7 +23,7 @@ Fabric::Fabric(sim::Engine& engine, obs::MetricsRegistry* metrics)
   c_wire_bytes_ = &metrics_->counter("fabric.wire_bytes_delivered");
   c_drops_dead_node_ = &metrics_->counter("fabric.drops_dead_node");
   c_route_cache_hits_ = &metrics_->counter("fabric.route_cache_hits");
-  g_port_backlog_ps_ = &metrics_->gauge("fabric.port_backlog_ps");
+  g_port_backlog_ns_ = &metrics_->gauge("fabric.port_backlog_ns");
   h_pkt_latency_ns_ = &metrics_->histogram("fabric.pkt_latency_ns");
 }
 
@@ -35,7 +35,11 @@ FabricStats Fabric::stats() const {
   s.wire_bytes_delivered = c_wire_bytes_->value();
   s.packets_dropped_dead_node = c_drops_dead_node_->value();
   s.route_cache_hits = c_route_cache_hits_->value();
-  s.max_port_backlog = static_cast<Time>(g_port_backlog_ps_->high_water());
+  s.max_port_backlog =
+      static_cast<Time>(g_port_backlog_ns_->high_water()) * kNanosecond;
+  s.express_commits = express_commits_;
+  s.express_fallbacks = express_fallbacks_;
+  s.express_remats = express_remats_;
   return s;
 }
 
@@ -61,7 +65,7 @@ int Fabric::add_switch(Time latency, Bandwidth xbar_bw) {
 
 int Fabric::add_port(int sw, LinkParams link) {
   auto& ports = switches_[sw].ports;
-  ports.push_back(Port{link, -1, -1, -1, 0});
+  ports.push_back(Port{link});
   return static_cast<int>(ports.size()) - 1;
 }
 
@@ -86,13 +90,19 @@ int Fabric::attach_node(int sw, NodeId node, LinkParams link) {
   switches_[sw].ports[port].peer_node = node;
   at.sw = sw;
   at.port = port;
-  at.injection = Port{link, sw, port, -1, 0};
+  at.injection = Port{link, sw, port};
   return port;
 }
 
 void Fabric::set_delivery(NodeId node, Delivery fn) {
   assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
   node_attach_[node].delivery = std::move(fn);
+}
+
+void Fabric::set_express_rx(NodeId node, Time rx_delay, Delivery rx) {
+  assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  node_attach_[node].express_rx = std::move(rx);
+  node_attach_[node].express_rx_delay = rx_delay;
 }
 
 void Fabric::set_static_routes(std::vector<std::int32_t> table) {
@@ -115,6 +125,12 @@ Time Fabric::injection_backlog(NodeId node) const {
 
 void Fabric::fail_node(NodeId node) {
   assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  // A dead node invalidates the no-divergence window the eager charges rely
+  // on: put every open express packet back on the exact hop-by-hop path
+  // before marking the node, and never fold delivery+rx again this run
+  // (folded events check liveness later than deliver() would have).
+  rematerialize_open();
+  ever_failed_ = true;
   node_attach_[node].failed = true;
 }
 
@@ -137,12 +153,12 @@ void Fabric::inject(Packet&& pkt) {
   c_injected_->inc();
   ++inflight_;
   pkt.injected_at = engine_.now();
-  engine_.trace("pkt_inject",
-                {{"src", pkt.src},
-                 {"dst", pkt.dst},
-                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-                 {"seq", pkt.seq},
-                 {"bytes", pkt.bytes}});
+  RVMA_ETRACE(engine_, "pkt_inject",
+              {{"src", pkt.src},
+               {"dst", pkt.dst},
+               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+               {"seq", pkt.seq},
+               {"bytes", pkt.bytes}});
 
   NodeAttach& at = node_attach_[pkt.src];
   Port& inj = at.injection;
@@ -152,12 +168,20 @@ void Fabric::inject(Packet&& pkt) {
   inj.busy_until = finish;
   const Time arrival = finish + inj.link.latency;
   const int sw = at.sw;
+  if (!static_routes_.empty()) {
+    // Reserve the delivery/rx sequence pair whether or not the express
+    // path engages, so tie-break order of all events shared between the
+    // two modes is identical (the exactness invariant, DESIGN.md §8).
+    pkt.res_seq = engine_.reserve_sequence(2);
+    if (express_enabled_ && try_express_burst(&pkt, 1, &arrival) == 1) return;
+  }
+  ++hop_inflight_;
   engine_.schedule_at(arrival, [this, sw, pkt = std::move(pkt)]() mutable {
     arrive_at_switch(sw, std::move(pkt));
   });
 }
 
-void Fabric::inject_burst(std::vector<Packet>&& pkts) {
+void Fabric::inject_burst(std::vector<Packet>& pkts) {
   assert(!pkts.empty());
   const NodeId src = pkts.front().src;
   const NodeId dst = pkts.front().dst;
@@ -165,34 +189,65 @@ void Fabric::inject_burst(std::vector<Packet>&& pkts) {
   assert(dst >= 0 && dst < static_cast<NodeId>(node_attach_.size()));
   if (node_attach_[src].failed || node_attach_[dst].failed) {
     c_drops_dead_node_->inc(pkts.size());
+    pkts.clear();
     return;
   }
 
   NodeAttach& at = node_attach_[src];
   Port& inj = at.injection;
-  auto burst = std::make_unique<Burst>();
-  burst->sw = at.sw;
-  burst->arrivals.reserve(pkts.size());
-  // Charge the injection link for the whole message now: backlog-based
-  // admission and the per-packet arrival times are exactly what N eager
-  // inject() calls at this instant would have produced.
+  const bool reserved = !static_routes_.empty();
+  burst_arrivals_.clear();
+  burst_arrivals_.reserve(pkts.size());
+  // Phase 1 — identical in every routing/express mode: per-packet
+  // accounting, sequence-pair reservation, and the eager injection-link
+  // charge. Backlog-based admission and the per-packet arrival times are
+  // exactly what N inject() calls at this instant would have produced.
   for (Packet& pkt : pkts) {
     c_injected_->inc();
     ++inflight_;
     pkt.injected_at = engine_.now();
-    engine_.trace("pkt_inject",
-                  {{"src", pkt.src},
-                   {"dst", pkt.dst},
-                   {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-                   {"seq", pkt.seq},
-                   {"bytes", pkt.bytes}});
+    RVMA_ETRACE(engine_, "pkt_inject",
+                {{"src", pkt.src},
+                 {"dst", pkt.dst},
+                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+                 {"seq", pkt.seq},
+                 {"bytes", pkt.bytes}});
+    if (reserved) pkt.res_seq = engine_.reserve_sequence(2);
     const std::uint64_t wire = pkt.wire_bytes();
     const Time start = std::max(engine_.now(), inj.busy_until);
     const Time finish = start + inj.link.bw.serialize(wire);
     inj.busy_until = finish;
-    burst->arrivals.push_back(finish + inj.link.latency);
+    burst_arrivals_.push_back(finish + inj.link.latency);
   }
-  burst->pkts = std::move(pkts);
+
+  // Phase 2 — commit the longest possible prefix to the express path as a
+  // single pooled record with one chained delivery event. The first
+  // ineligible packet clears the whole suffix: later packets follow the
+  // same static route, FIFO ports forbid overtaking, so their real
+  // arrivals are bounded below by the cleared packet's optimistic ones.
+  std::size_t i = 0;
+  if (reserved && express_enabled_) {
+    i = try_express_burst(pkts.data(), pkts.size(), burst_arrivals_.data());
+  }
+  if (i == pkts.size()) {
+    pkts.clear();  // whole message committed: zero queued events remain
+    return;
+  }
+  hop_inflight_ += static_cast<std::int64_t>(pkts.size() - i);
+  auto burst = std::make_unique<Burst>();
+  burst->sw = at.sw;
+  if (i == 0) {
+    burst->pkts = std::move(pkts);
+    burst->arrivals = std::move(burst_arrivals_);
+  } else {
+    burst->pkts.assign(std::make_move_iterator(pkts.begin() +
+                                               static_cast<std::ptrdiff_t>(i)),
+                       std::make_move_iterator(pkts.end()));
+    burst->arrivals.assign(burst_arrivals_.begin() +
+                               static_cast<std::ptrdiff_t>(i),
+                           burst_arrivals_.end());
+  }
+  pkts.clear();
   burst->seq_base = engine_.reserve_sequence(burst->pkts.size());
   const Time first_arrival = burst->arrivals.front();
   const std::uint64_t first_seq = burst->seq_base;
@@ -217,6 +272,475 @@ void Fabric::burst_step(std::unique_ptr<Burst> burst) {
   arrive_at_switch(sw, std::move(pkt));
 }
 
+std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
+                                      const Time* arrivals) {
+  // With a hop-mode packet in flight a commit is impossible, and with no
+  // open records no conflict is possible either (completed records'
+  // express_until marks are all in the past, below any future arrival):
+  // skip the walk entirely.
+  if (hop_inflight_ > 0 && xopen_head_ == kNone) {
+    express_fallbacks_ += n;
+    return 0;
+  }
+
+  const NodeId dst = pkts[0].dst;
+  const NodeAttach& dst_at = node_attach_[dst];
+  const std::size_t nodes = node_attach_.size();
+  // A burst is full-MTU packets plus a possibly shorter final packet, so
+  // exactly two wire sizes cover every serialization the walk needs.
+  const std::uint64_t wire_f = pkts[0].wire_bytes();
+  const std::uint64_t wire_l = pkts[n - 1].wire_bytes();
+
+  // Phase A — discover the route once, cache every per-hop constant, and
+  // run the eager-charge conflict test. `opt_f`/`opt_l` are the
+  // zero-queue-wait lower bounds on the first and last packets' arrivals
+  // at each switch; every real hop-by-hop arrival is >= its bound, which
+  // makes the conflict test sound. Middle packets need no track of their
+  // own: they are full-size with injection arrivals between the two, so
+  // their bounds are bracketed by these.
+  walk_.clear();
+  Time opt_f = arrivals[0];
+  Time opt_l = arrivals[n - 1];
+  int sw = node_attach_[pkts[0].src].sw;
+  while (true) {
+    Switch& s = switches_[sw];
+    int port;
+    bool transit = false;
+    if (dst_at.sw == sw) {
+      port = dst_at.port;  // ejection to the destination node
+    } else {
+      port = static_routes_[static_cast<std::size_t>(sw) * nodes +
+                            static_cast<std::size_t>(dst)];
+      assert(port >= 0 && port < static_cast<int>(s.ports.size()));
+      transit = true;
+    }
+    Port& p = s.ports[port];
+    // An open express packet already holds this port with a virtual
+    // arbitration time at or after some burst packet's earliest possible
+    // arrival: real hop-by-hop execution could order the two the other
+    // way. Unwind everything speculative and let exact arbitration decide.
+    if (opt_f <= p.express_until || opt_l <= p.express_until) {
+      rematerialize_open();
+      express_fallbacks_ += n;
+      return 0;
+    }
+    const Time xser_f = s.xbar_bw.serialize(wire_f);
+    const Time pser_f = p.link.bw.serialize(wire_f);
+    const Time xser_l = wire_l == wire_f ? xser_f : s.xbar_bw.serialize(wire_l);
+    const Time pser_l = wire_l == wire_f ? pser_f : p.link.bw.serialize(wire_l);
+    walk_.push_back(WalkHop{sw, port, s.latency, p.link.latency, xser_f,
+                            xser_l, pser_f, pser_l, p.busy_until,
+                            p.express_until, transit});
+    opt_f += s.latency + xser_f + pser_f + p.link.latency;
+    opt_l += s.latency + xser_l + pser_l + p.link.latency;
+    if (p.peer_node >= 0) break;  // ejection hop: walk complete
+    assert(p.peer_switch >= 0 && "packet routed to an unwired port");
+    sw = p.peer_switch;
+  }
+  if (hop_inflight_ > 0) {
+    express_fallbacks_ += n;  // conflict scan only; commits impossible
+    return 0;
+  }
+
+  // Phase B — eligibility, packet by packet, pure arithmetic. A packet is
+  // eligible when every hop arbitrates with zero queue wait against the
+  // port state left by the committed prefix (commit_busy_). Trial columns
+  // are swapped in wholesale on success, so a failed candidate leaves the
+  // committed state untouched without any copying.
+  const std::size_t nh = walk_.size();
+  commit_busy_.resize(nh);
+  trial_busy_.resize(nh);
+  commit_arr_.resize(nh);
+  trial_arr_.resize(nh);
+  scratch_delivers_.clear();
+  for (std::size_t h = 0; h < nh; ++h) commit_busy_[h] = walk_[h].prev_busy;
+  std::size_t m = 0;
+  while (m < n) {
+    const bool last = m == n - 1;
+    Time a = arrivals[m];
+    bool ok = true;
+    for (std::size_t h = 0; h < nh; ++h) {
+      const WalkHop& w = walk_[h];
+      const Time xbar_done = a + w.sw_latency + (last ? w.xser_l : w.xser_f);
+      if (commit_busy_[h] > xbar_done) {
+        // Nonzero queue wait: the packet would sit behind earlier traffic
+        // here, and events executing in the meantime may change what it
+        // observes. The suffix falls back to the hop path.
+        ok = false;
+        break;
+      }
+      trial_arr_[h] = a;
+      trial_busy_[h] = xbar_done + (last ? w.pser_l : w.pser_f);
+      a = trial_busy_[h] + w.link_latency;
+    }
+    if (!ok) break;
+    commit_busy_.swap(trial_busy_);
+    commit_arr_.swap(trial_arr_);
+    scratch_delivers_.push_back(a);  // last-hop finish + ejection latency
+    ++m;
+  }
+  if (m == 0) {
+    express_fallbacks_ += n;
+    return 0;
+  }
+
+  // Phase C — commit the prefix: the route arbitrates with zero queue
+  // wait for every committed packet and no open record can interleave, so
+  // eager charging is exact. Charge each port once with the prefix's
+  // final state and collapse the whole traversal into one pending event.
+  express_commits_ += m;
+  express_fallbacks_ += n - m;
+  const std::uint32_t idx = acquire_record();
+  ExpressRecord& r = *xrecords_[idx];
+  r.node = dst;
+  r.next = 0;
+  r.chain_end = static_cast<std::uint32_t>(m);
+  std::uint64_t transit_hops = 0;
+  for (std::size_t h = 0; h < nh; ++h) {
+    const WalkHop& w = walk_[h];
+    Port& p = switches_[w.sw].ports[w.port];
+    p.busy_until = commit_busy_[h];
+    p.express_until = std::max(p.express_until, commit_arr_[h]);
+    r.hops.push_back(ExpressHop{w.sw, w.port, w.prev_busy,
+                                w.prev_express_until, ++express_epoch_,
+                                w.transit});
+    if (w.transit) ++transit_hops;
+  }
+  if (transit_hops > 0) {
+    c_route_cache_hits_->inc(transit_hops * static_cast<std::uint64_t>(m));
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    pkts[k].hops = static_cast<std::uint16_t>(pkts[k].hops + nh);
+    r.pkts.push_back(std::move(pkts[k]));
+    r.arrivals.push_back(arrivals[k]);
+    r.delivers.push_back(scratch_delivers_[k]);
+  }
+  NodeAttach& at = node_attach_[dst];
+  // Fold the delivery and the NIC receive pipeline into one event only
+  // when nothing downstream can tell: tracing off (pkt_deliver records
+  // stamp event time, which a folded event would get wrong) and no
+  // failure ever injected (deliver() checks destination liveness at the
+  // delivery instant; a folded event checks later). A sampler does NOT
+  // block folding: it observes without scheduling, so sampled and
+  // unsampled runs must execute the same events — only the express-vs-hop
+  // gauge timeseries differ, which eager charging causes anyway
+  // (DESIGN.md §8).
+  const bool fold = !engine_.tracing_enabled() && !ever_failed_ &&
+                    static_cast<bool>(at.express_rx);
+  if (fold) {
+    r.state = XState::kFolded;
+    engine_.schedule_at_seq(r.delivers[0] + at.express_rx_delay,
+                            r.pkts[0].res_seq + 1,
+                            [this, idx] { express_event(idx); });
+  } else {
+    r.state = XState::kDelivery;
+    engine_.schedule_at_seq(r.delivers[0], r.pkts[0].res_seq,
+                            [this, idx] { express_event(idx); });
+  }
+  // Append to the open list (ordered by commit, i.e. by charge epoch).
+  r.prev_open = xopen_tail_;
+  r.next_open = kNone;
+  if (xopen_tail_ != kNone) {
+    xrecords_[xopen_tail_]->next_open = idx;
+  } else {
+    xopen_head_ = idx;
+  }
+  xopen_tail_ = idx;
+  r.open = true;
+  return m;
+}
+
+void Fabric::open_list_remove(ExpressRecord& r, std::uint32_t idx) {
+  if (r.prev_open != kNone) {
+    xrecords_[r.prev_open]->next_open = r.next_open;
+  } else {
+    xopen_head_ = r.next_open;
+  }
+  if (r.next_open != kNone) {
+    xrecords_[r.next_open]->prev_open = r.prev_open;
+  } else {
+    xopen_tail_ = r.prev_open;
+  }
+  (void)idx;
+  r.prev_open = kNone;
+  r.next_open = kNone;
+  r.open = false;
+}
+
+void Fabric::deliver_stats(const Packet& pkt, Time deliver_at) {
+  c_delivered_->inc();
+  c_hops_->inc(pkt.hops);
+  c_wire_bytes_->inc(pkt.wire_bytes());
+  --inflight_;
+  h_pkt_latency_ns_->record(
+      static_cast<std::uint64_t>((deliver_at - pkt.injected_at) /
+                                 kNanosecond));
+  RVMA_ETRACE(engine_, "pkt_deliver",
+              {{"src", pkt.src},
+               {"dst", pkt.dst},
+               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+               {"seq", pkt.seq},
+               {"hops", pkt.hops},
+               {"lat_ps",
+                static_cast<std::int64_t>(deliver_at - pkt.injected_at)}});
+}
+
+void Fabric::express_event(std::uint32_t idx) {
+  // The record's ONE pending event: handle packet `next`, then either
+  // chain the next packet's event at its exact reserved (time, sequence)
+  // or free the record. The chain is scheduled before the delivery/rx
+  // callback runs so any re-entrant injection sees consistent state.
+  ExpressRecord& r = *xrecords_[idx];
+  const std::uint32_t k = r.next;
+  switch (r.state) {
+    case XState::kDelivery: {
+      // Exact replay of the hop-by-hop delivery event: same time
+      // (delivers[k]), same sequence (res_seq), same liveness check.
+      Packet pkt = std::move(r.pkts[k]);
+      const NodeId node = r.node;
+      r.next = k + 1;
+      if (r.next < r.chain_end) {
+        engine_.schedule_at_seq(r.delivers[r.next], r.pkts[r.next].res_seq,
+                                [this, idx] { express_event(idx); });
+      } else {
+        close_record(idx);
+      }
+      deliver(node, std::move(pkt));
+      break;
+    }
+    case XState::kFolded: {
+      // Delivery bookkeeping plus the NIC receive hook in one event. The
+      // fold preconditions guarantee nothing observed the window between
+      // the delivery instant and now (a failure would have rematerialized
+      // this record first); the stats use the stored delivery instant.
+      NodeAttach& at = node_attach_[r.node];
+      assert(!at.failed && "folded record outlived a node failure");
+      deliver_stats(r.pkts[k], r.delivers[k]);
+      Packet pkt = std::move(r.pkts[k]);
+      r.next = k + 1;
+      if (r.next < r.chain_end) {
+        engine_.schedule_at_seq(r.delivers[r.next] + at.express_rx_delay,
+                                r.pkts[r.next].res_seq + 1,
+                                [this, idx] { express_event(idx); });
+      } else {
+        close_record(idx);
+      }
+      at.express_rx(std::move(pkt));
+      break;
+    }
+    case XState::kRemRx: {
+      // Delivery bookkeeping already ran (at rematerialize or via
+      // express_finalize); hand the packet to the NIC receive pipeline —
+      // in exact semantics a delivered packet's rx proceeds even if the
+      // node died after delivery. Later packets were re-scheduled
+      // individually by the rematerialize, so the chain ends here.
+      Packet pkt = std::move(r.pkts[k]);
+      const NodeId node = r.node;
+      close_record(idx);
+      node_attach_[node].express_rx(std::move(pkt));
+      break;
+    }
+    case XState::kRemDead:
+      // Bookkeeping handled elsewhere; this event only frees.
+      close_record(idx);
+      break;
+  }
+}
+
+void Fabric::express_finalize(std::uint32_t idx) {
+  // Scheduled at (delivers[next], res_seq) when a folded record is
+  // rematerialized before packet `next`'s delivery instant: performs
+  // exactly what deliver() would have — liveness check included — at the
+  // exact time and tie-break position hop-by-hop execution would have
+  // used. The NIC receive half stays on the record's pending
+  // (res_seq + 1) event, which frees the record (kRemRx) or, if the node
+  // died in between, just drops it (kRemDead).
+  ExpressRecord& r = *xrecords_[idx];
+  const std::uint32_t k = r.next;
+  NodeAttach& at = node_attach_[r.node];
+  if (at.failed) {
+    c_drops_dead_node_->inc();
+    --inflight_;
+    r.state = XState::kRemDead;
+    return;
+  }
+  deliver_stats(r.pkts[k], r.delivers[k]);
+  r.state = XState::kRemRx;
+}
+
+void Fabric::rematerialize_open() {
+  if (xopen_head_ == kNone) return;
+  ++express_remats_;
+  const Time now = engine_.now();
+
+  // One pass per open record: recompute every packet's per-hop
+  // arbitration and finish times (pure arithmetic — eligibility at commit
+  // time meant zero queue wait, so the recurrence needs no max() against
+  // port state), gather the port restores for charges whose arbitration
+  // instant is still in the future, and convert each undelivered packet
+  // back to exact execution. Conversions only schedule events and read no
+  // port state, so all restores can be applied after the scan, in global
+  // LIFO (epoch) order — each then sees exactly the state it saved.
+  undo_.clear();
+  std::uint32_t i = xopen_head_;
+  xopen_head_ = kNone;
+  xopen_tail_ = kNone;
+  while (i != kNone) {
+    ExpressRecord& r = *xrecords_[i];
+    const std::uint32_t nexti = r.next_open;
+    r.prev_open = kNone;
+    r.next_open = kNone;
+    r.open = false;
+
+    const std::size_t n = r.pkts.size();
+    const std::size_t nh = r.hops.size();
+    // Replay rows: arr[k*nh+h] is packet k's arbitration instant at hop
+    // h, fin[k*nh+h] its port-serialization finish. Wire sizes come from
+    // the stored packets — delivered entries are moved-from, but moves
+    // leave the scalar fields (bytes, header_bytes) intact.
+    replay_arr_.resize(n * nh);
+    replay_fin_.resize(n * nh);
+    for (std::size_t k = 0; k < n; ++k) {
+      Time a = r.arrivals[k];
+      const std::uint64_t wire = r.pkts[k].wire_bytes();
+      for (std::size_t h = 0; h < nh; ++h) {
+        const Switch& s = switches_[r.hops[h].sw];
+        const Port& p = s.ports[r.hops[h].port];
+        replay_arr_[k * nh + h] = a;
+        const Time fin = a + s.latency + s.xbar_bw.serialize(wire) +
+                         p.link.bw.serialize(wire);
+        replay_fin_[k * nh + h] = fin;
+        a = fin + p.link.latency;
+      }
+    }
+
+    // Port restores. Arbitration instants are nondecreasing in k at every
+    // hop (FIFO), so "the packets already arbitrated here" is a prefix
+    // [0, j): the port rolls back to that prefix's state. Charges whose
+    // last arbitration has passed are real history and stay.
+    for (std::size_t h = 0; h < nh; ++h) {
+      if (replay_arr_[(n - 1) * nh + h] <= now) continue;
+      std::size_t j = n;
+      while (j > 0 && replay_arr_[(j - 1) * nh + h] > now) --j;
+      const ExpressHop& eh = r.hops[h];
+      UndoHop u;
+      u.epoch = eh.epoch;
+      u.sw = eh.sw;
+      u.port = eh.port;
+      u.expect_busy = replay_fin_[(n - 1) * nh + h];
+      if (j > 0) {
+        u.restore_busy = replay_fin_[(j - 1) * nh + h];
+        u.restore_express_until =
+            std::max(eh.prev_express_until, replay_arr_[(j - 1) * nh + h]);
+      } else {
+        u.restore_busy = eh.prev_busy;
+        u.restore_express_until = eh.prev_express_until;
+      }
+      undo_.push_back(u);
+    }
+
+    // Packet conversions. "All arbitrations past" is monotone across the
+    // burst (arrivals are FIFO-ordered), so the undelivered packets split
+    // into an all-past prefix and a mid-flight suffix.
+    const std::uint32_t d = r.next;
+    NodeAttach& at = node_attach_[r.node];
+    for (std::size_t k = d; k < n; ++k) {
+      std::size_t jfut = 0;
+      while (jfut < nh && replay_arr_[k * nh + jfut] <= now) ++jfut;
+      if (jfut == nh) {
+        // Every arbitration already happened; only wire propagation (and
+        // possibly the folded rx) remains.
+        if (r.state == XState::kDelivery) {
+          // The chained events at (delivers[k], res_k) ARE the exact
+          // hop-mode deliveries — keep the chain running through this
+          // packet. (delivers[k] >= now here: the chain's pending event
+          // at delivers[d] has not fired and delivers are nondecreasing.)
+          r.chain_end = static_cast<std::uint32_t>(k + 1);
+          continue;
+        }
+        if (k == d) {
+          // This packet's folded (res_d + 1) event is the record's
+          // pending event; split the delivery half back out of it.
+          if (r.delivers[k] < now) {
+            // Hop-by-hop delivery would already have run (node was alive
+            // then — a current failure postdates it); the pending event
+            // at delivers[d] + rx_delay is already the exact rx instant.
+            deliver_stats(r.pkts[k], r.delivers[k]);
+          } else {
+            // Re-create the delivery at its exact time and reserved
+            // sequence; it performs deliver()'s bookkeeping — liveness
+            // check included — and may flip the record to kRemDead.
+            const std::uint32_t idx = i;
+            engine_.schedule_at_seq(r.delivers[k], r.pkts[k].res_seq,
+                                    [this, idx] { express_finalize(idx); });
+          }
+          r.state = XState::kRemRx;
+        } else {
+          // No pending event backs this packet (the chain never got to
+          // it): re-create its exact delivery — or, when its delivery
+          // instant already passed inside the fold window, its exact
+          // receive event — on the packet's own reserved pair.
+          const NodeId node = r.node;
+          if (r.delivers[k] >= now) {
+            Packet pkt = std::move(r.pkts[k]);
+            engine_.schedule_at_seq(
+                r.delivers[k], pkt.res_seq,
+                [this, node, pkt = std::move(pkt)]() mutable {
+                  deliver(node, std::move(pkt));
+                });
+          } else {
+            deliver_stats(r.pkts[k], r.delivers[k]);
+            Packet pkt = std::move(r.pkts[k]);
+            engine_.schedule_at_seq(
+                r.delivers[k] + at.express_rx_delay, pkt.res_seq + 1,
+                [this, node, pkt = std::move(pkt)]() mutable {
+                  node_attach_[node].express_rx(std::move(pkt));
+                });
+          }
+        }
+      } else {
+        // Mid-flight: the packet has really traversed hops [0, jfut) and
+        // its charges beyond are being unwound. Resume exact hop-by-hop
+        // execution from its current wire position.
+        std::uint64_t future_transit = 0;
+        for (std::size_t h = jfut; h < nh; ++h) {
+          if (r.hops[h].transit) ++future_transit;
+        }
+        if (future_transit > 0) c_route_cache_hits_->dec(future_transit);
+        Packet pkt = std::move(r.pkts[k]);
+        pkt.hops = static_cast<std::uint16_t>(jfut);
+        if (k == d) {
+          // The reserved pair backs this record's still-queued (now dead)
+          // event; the resumed path must not reuse it. Later packets'
+          // pairs are unclaimed and ride along, so their delivery and rx
+          // keep the exact hop-mode tie-break positions.
+          pkt.res_seq = kNoResSeq;
+          r.state = XState::kRemDead;
+        }
+        ++hop_inflight_;
+        const int sw = r.hops[jfut].sw;
+        engine_.schedule_at(replay_arr_[k * nh + jfut],
+                            [this, sw, pkt = std::move(pkt)]() mutable {
+                              arrive_at_switch(sw, std::move(pkt));
+                            });
+      }
+    }
+    i = nexti;
+  }
+
+  // Unwind every not-yet-arbitrated charge, newest first, so each
+  // prev_* restore sees exactly the port state it saved.
+  std::sort(undo_.begin(), undo_.end(),
+            [](const UndoHop& x, const UndoHop& y) { return x.epoch > y.epoch; });
+  for (const UndoHop& u : undo_) {
+    Port& p = switches_[u.sw].ports[u.port];
+    assert(p.busy_until == u.expect_busy &&
+           "a future express charge was overwritten");
+    p.busy_until = u.restore_busy;
+    p.express_until = u.restore_express_until;
+  }
+}
+
 void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   ++pkt.hops;
   Switch& s = switches_[sw];
@@ -239,19 +763,33 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
 
   Port& p = s.ports[port];
   const std::uint64_t wire = pkt.wire_bytes();
-  const Time backlog = p.busy_until > engine_.now() ? p.busy_until - engine_.now() : 0;
-  g_port_backlog_ps_->set(static_cast<std::int64_t>(backlog));
   const Time xbar_done = engine_.now() + s.latency + s.xbar_bw.serialize(wire);
+  if (p.busy_until > xbar_done) {
+    // True queue wait beyond the crossbar (DESIGN.md §7). Recorded only
+    // when positive, so zero-wait arbitrations — the ones the express
+    // path elides — leave the gauge untouched in both modes.
+    g_port_backlog_ns_->set(
+        static_cast<std::int64_t>((p.busy_until - xbar_done) / kNanosecond));
+  }
   const Time start = std::max(xbar_done, p.busy_until);
   const Time finish = start + p.link.bw.serialize(wire);
   p.busy_until = finish;
   const Time arrival = finish + p.link.latency;
 
   if (p.peer_node >= 0) {
+    --hop_inflight_;  // final arbitration for this packet
     const NodeId node = p.peer_node;
-    engine_.schedule_at(arrival, [this, node, pkt = std::move(pkt)]() mutable {
-      deliver(node, std::move(pkt));
-    });
+    if (pkt.res_seq != kNoResSeq) {
+      engine_.schedule_at_seq(arrival, pkt.res_seq,
+                              [this, node, pkt = std::move(pkt)]() mutable {
+                                deliver(node, std::move(pkt));
+                              });
+    } else {
+      engine_.schedule_at(arrival,
+                          [this, node, pkt = std::move(pkt)]() mutable {
+                            deliver(node, std::move(pkt));
+                          });
+    }
   } else {
     const int next = p.peer_switch;
     assert(next >= 0 && "packet routed to an unwired port");
@@ -272,17 +810,48 @@ void Fabric::deliver(NodeId node, Packet&& pkt) {
   c_wire_bytes_->inc(pkt.wire_bytes());
   --inflight_;
   h_pkt_latency_ns_->record((engine_.now() - pkt.injected_at) / kNanosecond);
-  engine_.trace("pkt_deliver",
-                {{"src", pkt.src},
-                 {"dst", pkt.dst},
-                 {"msg", static_cast<std::int64_t>(pkt.msg->id)},
-                 {"seq", pkt.seq},
-                 {"hops", pkt.hops},
-                 {"lat_ps", static_cast<std::int64_t>(engine_.now() -
-                                                      pkt.injected_at)}});
+  RVMA_ETRACE(engine_, "pkt_deliver",
+              {{"src", pkt.src},
+               {"dst", pkt.dst},
+               {"msg", static_cast<std::int64_t>(pkt.msg->id)},
+               {"seq", pkt.seq},
+               {"hops", pkt.hops},
+               {"lat_ps", static_cast<std::int64_t>(engine_.now() -
+                                                    pkt.injected_at)}});
   NodeAttach& at = node_attach_[node];
   assert(at.delivery && "packet delivered to node without a NIC");
   at.delivery(std::move(pkt));
+}
+
+std::uint32_t Fabric::acquire_record() {
+  if (xfree_ != kNone) {
+    const std::uint32_t idx = xfree_;
+    xfree_ = xrecords_[idx]->next_free;
+    xrecords_[idx]->next_free = kNone;
+    return idx;
+  }
+  xrecords_.push_back(std::make_unique<ExpressRecord>());
+  return static_cast<std::uint32_t>(xrecords_.size() - 1);
+}
+
+void Fabric::release_record(std::uint32_t idx) {
+  ExpressRecord& r = *xrecords_[idx];
+  r.pkts.clear();  // drops the MsgRefs now, not when the slot is reused
+  r.arrivals.clear();
+  r.delivers.clear();
+  r.hops.clear();  // capacities retained for the record's next commit
+  r.node = -1;
+  r.next = 0;
+  r.chain_end = 0;
+  r.state = XState::kDelivery;
+  r.next_free = xfree_;
+  xfree_ = idx;
+}
+
+void Fabric::close_record(std::uint32_t idx) {
+  ExpressRecord& r = *xrecords_[idx];
+  if (r.open) open_list_remove(r, idx);
+  release_record(idx);
 }
 
 void Fabric::check_wired() const {

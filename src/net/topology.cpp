@@ -72,6 +72,7 @@ Network::Network(sim::Engine& engine, const NetworkConfig& config,
       }
     }
     fabric_.set_static_routes(std::move(table));
+    fabric_.set_express_enabled(config_.express);
   }
 }
 

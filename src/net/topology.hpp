@@ -48,6 +48,11 @@ struct NetworkConfig {
   int hx_l1 = 0, hx_l2 = 0;            ///< HyperX lattice extents
 
   std::uint64_t seed = 1;
+
+  /// Arm the express cut-through fast path (Fabric::set_express_enabled).
+  /// Only meaningful under static routing; results are bit-identical with
+  /// it off (--no-express ablation), only event counts and wall time move.
+  bool express = true;
 };
 
 class Topology {
@@ -86,9 +91,8 @@ class Network {
   }
   void inject(Packet&& pkt) { fabric_.inject(std::move(pkt)); }
   /// Batched injection of one message's packets (see Fabric::inject_burst).
-  void inject_burst(std::vector<Packet>&& pkts) {
-    fabric_.inject_burst(std::move(pkts));
-  }
+  /// Consumes `pkts` but keeps its capacity for caller reuse.
+  void inject_burst(std::vector<Packet>& pkts) { fabric_.inject_burst(pkts); }
 
  private:
   NetworkConfig config_;

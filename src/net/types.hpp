@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -54,20 +56,114 @@ struct Message {
   /// `data` into it; the message (and all its packets) keep it alive.
   std::shared_ptr<const std::vector<std::byte>> owned;
   Time created_at = 0;
+  /// Intrusive refcount managed by MsgRef; 0 while the Message is a plain
+  /// value (not yet handed to a MsgRef). Non-atomic: an engine and every
+  /// packet it owns live on one thread (sweep workers isolate engines).
+  std::uint32_t pool_rc = 0;
 };
+
+/// Pooled, non-atomic refcounted handle to a shared Message descriptor.
+///
+/// Every packet of a message used to carry a std::shared_ptr<const
+/// Message>: an atomic RMW per packet copy/destroy plus a control-block
+/// allocation per message. The simulation is single-threaded per engine,
+/// so the refcount is a plain integer, and Message slots recycle through a
+/// thread_local free list (same pattern as sim::CallbackBlockPool) — zero
+/// allocator traffic once the pool is warm. thread_local keeps sweep
+/// workers from sharing (and racing on) a pool; a packet never migrates
+/// off the thread its engine runs on.
+class MsgRef {
+ public:
+  MsgRef() noexcept = default;
+  MsgRef(const MsgRef& o) noexcept : m_(o.m_) {
+    if (m_ != nullptr) ++m_->pool_rc;
+  }
+  MsgRef(MsgRef&& o) noexcept : m_(o.m_) { o.m_ = nullptr; }
+  MsgRef& operator=(const MsgRef& o) noexcept {
+    if (this != &o) {
+      reset();
+      m_ = o.m_;
+      if (m_ != nullptr) ++m_->pool_rc;
+    }
+    return *this;
+  }
+  MsgRef& operator=(MsgRef&& o) noexcept {
+    if (this != &o) {
+      reset();
+      m_ = o.m_;
+      o.m_ = nullptr;
+    }
+    return *this;
+  }
+  ~MsgRef() { reset(); }
+
+  /// Move `msg` into a pooled slot and return the first reference to it.
+  static MsgRef make(Message&& msg) {
+    Message* m = acquire_slot();
+    *m = std::move(msg);
+    m->pool_rc = 1;
+    return MsgRef(m);
+  }
+
+  void reset() noexcept {
+    if (m_ != nullptr && --m_->pool_rc == 0) release_slot(m_);
+    m_ = nullptr;
+  }
+
+  const Message* get() const noexcept { return m_; }
+  const Message* operator->() const noexcept { return m_; }
+  const Message& operator*() const noexcept { return *m_; }
+  explicit operator bool() const noexcept { return m_ != nullptr; }
+
+ private:
+  explicit MsgRef(Message* m) noexcept : m_(m) {}
+
+  static Message*& free_head() {
+    // Free slots thread the list through Message::src (reinterpreted);
+    // keep it simple with a parallel pointer stored in-place instead:
+    thread_local Message* head = nullptr;
+    return head;
+  }
+  static Message* acquire_slot() {
+    Message*& head = free_head();
+    if (head != nullptr) {
+      Message* m = head;
+      head = *reinterpret_cast<Message**>(m);
+      return new (m) Message();
+    }
+    return new Message();
+  }
+  static void release_slot(Message* m) noexcept {
+    m->~Message();  // drops `owned` payload before the slot idles
+    Message*& head = free_head();
+    *reinterpret_cast<Message**>(m) = head;
+    head = m;
+  }
+
+  Message* m_ = nullptr;
+};
+
+/// Sentinel for Packet::res_seq: no sequence pair was reserved (adaptive
+/// routing, or a packet rematerialized out of the express fast path).
+inline constexpr std::uint64_t kNoResSeq = ~std::uint64_t{0};
 
 /// One packet on the wire. Packets of a message share the Message
 /// descriptor; `offset`/`bytes` delimit this packet's slice of the payload.
 struct Packet {
   NodeId src = -1;
   NodeId dst = -1;
-  std::shared_ptr<const Message> msg;
+  MsgRef msg;
   std::uint64_t offset = 0;  ///< payload offset within the message
   std::uint32_t bytes = 0;   ///< payload bytes in this packet
   std::uint32_t header_bytes = 32;
   std::uint32_t seq = 0;     ///< packet index within the message
   std::uint32_t total = 1;   ///< total packets in the message
   Time injected_at = 0;
+  /// Sequence pair reserved at injection when static routes are installed:
+  /// res_seq orders the delivery event, res_seq + 1 the NIC receive event.
+  /// Reserved identically with the express path on or off, so tie-break
+  /// order of all shared events matches between the two modes.
+  std::uint64_t res_seq = kNoResSeq;
   std::uint16_t hops = 0;
 
   // Scratch routing state (e.g. dragonfly Valiant intermediate group).

@@ -90,7 +90,11 @@ class Nic {
 
  private:
   void handle_delivery(Packet&& pkt);
-  void inject_message(Message msg, SendDone on_sent);
+  /// Folded receive hook (Fabric::set_express_rx): runs handle_delivery's
+  /// counting and the protocol dispatch directly, at the instant the
+  /// unfolded pipeline's dispatch event would have fired.
+  void express_rx(Packet&& pkt);
+  void inject_message(net::MsgRef msg, SendDone on_sent);
   void drain_tx_queue();
 
   sim::Engine& engine_;
@@ -106,8 +110,12 @@ class Nic {
   std::uint64_t packets_received_ = 0;
   std::uint64_t tx_queue_stalls_ = 0;
   std::uint64_t packets_dropped_no_handler_ = 0;
-  std::deque<std::pair<Message, SendDone>> tx_queue_;
+  std::deque<std::pair<net::MsgRef, SendDone>> tx_queue_;
   bool drain_scheduled_ = false;
+  /// Segmentation buffer reused across sends; Fabric::inject_burst
+  /// consumes the contents but preserves the capacity, so steady-state
+  /// multi-packet sends allocate nothing.
+  std::vector<Packet> burst_scratch_;
 
   /// Registry mirrors of the per-instance counters (shared across all
   /// NICs on a Cluster), resolved once at construction.

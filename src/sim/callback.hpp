@@ -55,9 +55,10 @@ class CallbackBlockPool {
 class Callback {
  public:
   /// Inline capture capacity. A fabric/NIC packet closure — `this` pointer,
-  /// a couple of ints, and a ~72-byte Packet — is ~88 bytes; 96 keeps every
-  /// per-packet closure allocation-free.
-  static constexpr std::size_t kInlineCapacity = 96;
+  /// a couple of ints, and a ~80-byte Packet (pooled MsgRef handle plus the
+  /// reserved delivery sequence pair) — is ~96 bytes; 112 keeps every
+  /// per-packet closure inline with slack for one more captured word.
+  static constexpr std::size_t kInlineCapacity = 112;
 
   Callback() noexcept = default;
 

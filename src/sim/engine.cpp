@@ -50,13 +50,13 @@ bool Engine::step() {
   if (now_ >= sampler_due_) {
     sampler_due_ = sampler_->on_tick(now_);
   }
-  Slot& s = slot(top.slot);
+  Slot& s = slot(top.slot());
   // Invoke in place: slot pages never move, so callbacks scheduled during
   // fn() (which may grow the pool) cannot invalidate the running callable.
   // The slot is released only after fn() returns, so a nested schedule can
   // never reuse the storage of the callback currently executing.
   s.fn.invoke_and_reset();
-  release_slot(top.slot);
+  release_slot(top.slot());
   return true;
 }
 

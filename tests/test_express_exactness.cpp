@@ -1,0 +1,243 @@
+// Express cut-through exactness (DESIGN.md §8): the fast path must be a
+// pure wall-clock optimization. Under adversarial contention — an incast
+// hammering one ejection port plus bidirectional neighbor traffic on a
+// torus — every observable (makespan, fabric stats, metrics snapshot,
+// trace bytes) must be identical with the express path on and off, and
+// the fig8 mini-grid's metrics JSON must stay byte-identical across both
+// modes and any job count.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "motifs/figure_bench.hpp"
+#include "motifs/halo3d.hpp"
+#include "net/topology.hpp"
+#include "nic/nic.hpp"
+#include "obs/metrics_io.hpp"
+
+namespace rvma {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Drop the one legitimate difference between express and hop-by-hop
+/// runs: the engine event counters (the express path exists to execute
+/// fewer events). Everything else must match exactly.
+obs::MetricsSnapshot scrub_engine_counters(obs::MetricsSnapshot snap) {
+  snap.counters.erase("engine.events_executed");
+  snap.counters.erase("engine.events_scheduled");
+  return snap;
+}
+
+struct ContentionResult {
+  net::FabricStats fabric;
+  obs::MetricsSnapshot metrics;
+  Time makespan = 0;
+  std::uint64_t received = 0;
+};
+
+/// Adversarial contention on a 2x2x2 torus with static routes: every
+/// node floods node 0 (ejection-port incast — express commits early,
+/// then conflicts and falls back) while also exchanging messages with
+/// both ring neighbors (bidirectional transit traffic crossing the
+/// incast paths mid-route). Multi-packet messages exercise the burst
+/// path; staggered completion-driven sends keep open express records
+/// around for later injections to conflict with.
+ContentionResult run_contention(bool express, Tracer* sink) {
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kTorus3D;
+  cfg.routing = net::Routing::kStatic;
+  cfg.nodes_hint = 8;
+  cfg.express = express;
+  nic::Cluster cluster(cfg, nic::NicParams{});
+  if (sink != nullptr) cluster.engine().set_tracer(sink);
+  const int n = cluster.num_nodes();
+
+  ContentionResult out;
+  std::vector<int> rounds_left(static_cast<std::size_t>(n), 3);
+  std::function<void(int)> send_round = [&](int node) {
+    if (rounds_left[static_cast<std::size_t>(node)]-- <= 0) return;
+    auto send_to = [&](int dst, std::uint64_t bytes) {
+      if (dst == node) return;
+      net::Message msg;
+      msg.src = node;
+      msg.dst = dst;
+      msg.bytes = bytes;
+      msg.hdr.kind = net::make_kind(nic::kProtoRdma, 1);
+      cluster.nic(node).send(std::move(msg), [] {});
+    };
+    send_to(0, 20'000);                // incast: 5 packets at node 0
+    send_to((node + 1) % n, 10'000);   // ring neighbor, forward
+    send_to((node + n - 1) % n, 6'000);  // ring neighbor, backward
+  };
+  for (int node = 0; node < n; ++node) {
+    cluster.nic(node).register_proto(
+        nic::kProtoRdma, [&, node](const net::Packet& pkt) {
+          ++out.received;
+          // Next round when a full message lands: keeps traffic (and open
+          // express records) alive across many injection instants.
+          if (pkt.seq + 1 == pkt.total) send_round(node);
+        });
+  }
+  // Kick off in descending node order: the far corner (3 hops from node
+  // 0) injects — and express-commits — first, so the near nodes' incast
+  // packets, injected the same instant but processed after, can reach the
+  // shared ejection port before the committed packets' virtual
+  // arbitration times. That is exactly the eager-charge conflict that
+  // forces a rematerialize.
+  for (int node = n - 1; node >= 0; --node) send_round(node);
+  out.makespan = cluster.engine().run();
+  out.fabric = cluster.network().fabric().stats();
+  out.metrics = scrub_engine_counters(cluster.collect_metrics());
+  return out;
+}
+
+TEST(ExpressExactness, ContentionStatsAndMetricsIdentical) {
+  const ContentionResult fast = run_contention(true, nullptr);
+  const ContentionResult slow = run_contention(false, nullptr);
+
+  // The fast path must actually engage AND be contested in this workload,
+  // including the conflict unwind — otherwise the test proves nothing.
+  EXPECT_GT(fast.fabric.express_commits, 0u);
+  EXPECT_GT(fast.fabric.express_fallbacks, 0u);
+  EXPECT_GT(fast.fabric.express_remats, 0u);
+  EXPECT_EQ(slow.fabric.express_commits, 0u);
+
+  EXPECT_EQ(fast.makespan, slow.makespan);
+  EXPECT_EQ(fast.received, slow.received);
+  EXPECT_GT(fast.received, 0u);
+  EXPECT_EQ(fast.fabric.packets_injected, slow.fabric.packets_injected);
+  EXPECT_EQ(fast.fabric.packets_delivered, slow.fabric.packets_delivered);
+  EXPECT_EQ(fast.fabric.total_hops, slow.fabric.total_hops);
+  EXPECT_EQ(fast.fabric.wire_bytes_delivered, slow.fabric.wire_bytes_delivered);
+  EXPECT_EQ(fast.fabric.route_cache_hits, slow.fabric.route_cache_hits);
+  EXPECT_EQ(fast.fabric.max_port_backlog, slow.fabric.max_port_backlog);
+  EXPECT_EQ(fast.metrics, slow.metrics);
+}
+
+TEST(ExpressExactness, ContentionTraceByteIdentical) {
+  const std::string path_fast = ::testing::TempDir() + "express_fast.jsonl";
+  const std::string path_slow = ::testing::TempDir() + "express_slow.jsonl";
+  Tracer sink_fast, sink_slow;
+  ASSERT_TRUE(sink_fast.open(path_fast));
+  ASSERT_TRUE(sink_slow.open(path_slow));
+
+  const ContentionResult fast = run_contention(true, &sink_fast);
+  const ContentionResult slow = run_contention(false, &sink_slow);
+  sink_fast.close();
+  sink_slow.close();
+
+  // Tracing disables event folding but not the express path itself: the
+  // per-packet pkt_inject/pkt_deliver records — timestamps included —
+  // must come out byte-for-byte identical.
+  EXPECT_GT(fast.fabric.express_commits, 0u);
+  EXPECT_EQ(slow.fabric.express_commits, 0u);
+  const std::string bytes_fast = read_file(path_fast);
+  EXPECT_FALSE(bytes_fast.empty());
+  EXPECT_EQ(bytes_fast, read_file(path_slow));
+  std::remove(path_fast.c_str());
+  std::remove(path_slow.c_str());
+}
+
+motifs::MotifBenchConfig mini_bench() {
+  motifs::MotifBenchConfig bench;
+  bench.figure = "test";
+  bench.motif = "Halo3D";
+  bench.nodes = 8;
+  bench.gbps = {100, 400};
+  bench.build = [](int nodes) {
+    motifs::Halo3DConfig cfg;
+    cfg.px = cfg.py = 2;
+    cfg.pz = nodes / 4;
+    cfg.nx = cfg.ny = cfg.nz = 8;
+    cfg.vars = 2;
+    cfg.iterations = 2;
+    cfg.compute_per_cell = 50 * kPicosecond;
+    return build_halo3d(cfg);
+  };
+  return bench;
+}
+
+/// The metrics JSON minus the engine event-count lines — the one
+/// legitimate difference between express and hop-by-hop documents.
+std::string filter_engine_events(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("engine.events") == std::string::npos) out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(ExpressExactness, Fig8MiniGridJsonIdenticalAcrossModesAndJobs) {
+  const motifs::MotifBenchConfig bench_fast = mini_bench();
+  motifs::MotifBenchConfig bench_slow = mini_bench();
+  bench_slow.express = false;
+  // First three grid rows cover torus + fat-tree and static + adaptive
+  // routing while keeping the test fast; sampling stays off — sampled
+  // gauge timeseries may observe express's eager port charges (DESIGN.md
+  // §8), and the document must be identical without that caveat.
+  std::vector<motifs::TopoCase> cases(motifs::figure_topo_cases().begin(),
+                                      motifs::figure_topo_cases().begin() + 3);
+
+  const std::vector<motifs::MotifCell> fast =
+      run_motif_grid(bench_fast, cases, 1);
+  const std::vector<motifs::MotifCell> slow_serial =
+      run_motif_grid(bench_slow, cases, 1);
+  const std::vector<motifs::MotifCell> slow_parallel =
+      run_motif_grid(bench_slow, cases, 4);
+
+  ASSERT_EQ(fast.size(), slow_serial.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    // Same simulation results cell by cell; only event counts may move.
+    EXPECT_EQ(fast[i].rdma.makespan, slow_serial[i].rdma.makespan) << i;
+    EXPECT_EQ(fast[i].rvma.makespan, slow_serial[i].rvma.makespan) << i;
+    EXPECT_EQ(fast[i].rdma.packets_delivered,
+              slow_serial[i].rdma.packets_delivered)
+        << i;
+    EXPECT_EQ(fast[i].rvma.packets_delivered,
+              slow_serial[i].rvma.packets_delivered)
+        << i;
+    EXPECT_EQ(fast[i].rdma.route_cache_hits,
+              slow_serial[i].rdma.route_cache_hits)
+        << i;
+    EXPECT_EQ(scrub_engine_counters(fast[i].rvma.metrics),
+              scrub_engine_counters(slow_serial[i].rvma.metrics))
+        << i;
+    EXPECT_EQ(slow_serial[i], slow_parallel[i]) << i;  // jobs determinism
+  }
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path_fast = dir + "express_grid_fast.json";
+  const std::string path_slow = dir + "express_grid_slow.json";
+  const std::string path_slow4 = dir + "express_grid_slow4.json";
+  ASSERT_TRUE(obs::write_metrics_file(
+      build_motif_metrics_doc(bench_fast, cases, fast), path_fast));
+  ASSERT_TRUE(obs::write_metrics_file(
+      build_motif_metrics_doc(bench_slow, cases, slow_serial), path_slow));
+  ASSERT_TRUE(obs::write_metrics_file(
+      build_motif_metrics_doc(bench_slow, cases, slow_parallel), path_slow4));
+
+  const std::string slow_bytes = read_file(path_slow);
+  EXPECT_EQ(slow_bytes, read_file(path_slow4));  // byte-identical across jobs
+  EXPECT_EQ(filter_engine_events(read_file(path_fast)),
+            filter_engine_events(slow_bytes));
+  std::remove(path_fast.c_str());
+  std::remove(path_slow.c_str());
+  std::remove(path_slow4.c_str());
+}
+
+}  // namespace
+}  // namespace rvma

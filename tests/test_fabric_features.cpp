@@ -24,15 +24,15 @@ NetworkConfig base(TopologyKind kind, Routing routing, int nodes) {
 }
 
 Packet make_packet(NodeId src, NodeId dst, std::uint32_t bytes, MsgId id) {
-  auto msg = std::make_shared<Message>();
-  msg->src = src;
-  msg->dst = dst;
-  msg->id = id;
-  msg->bytes = bytes;
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.id = id;
+  msg.bytes = bytes;
   Packet pkt;
   pkt.src = src;
   pkt.dst = dst;
-  pkt.msg = std::move(msg);
+  pkt.msg = net::MsgRef::make(std::move(msg));
   pkt.bytes = bytes;
   return pkt;
 }

@@ -56,14 +56,14 @@ TEST(MiscTopology, AsymmetricTorusRoutes) {
   for (net::NodeId n = 0; n < 30; ++n) {
     net.set_delivery(n, [&](net::Packet&&) { ++delivered; });
   }
-  auto msg = std::make_shared<net::Message>();
-  msg->src = 0;
-  msg->dst = 29;
-  msg->id = 1;
+  net::Message msg;
+  msg.src = 0;
+  msg.dst = 29;
+  msg.id = 1;
   net::Packet pkt;
   pkt.src = 0;
   pkt.dst = 29;
-  pkt.msg = msg;
+  pkt.msg = net::MsgRef::make(std::move(msg));
   pkt.bytes = 64;
   net.inject(std::move(pkt));
   engine.run();

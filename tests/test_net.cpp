@@ -28,15 +28,15 @@ NetworkConfig base_config(TopologyKind kind, Routing routing, int nodes) {
 
 Packet make_packet(NodeId src, NodeId dst, std::uint32_t bytes, MsgId id,
                    std::uint32_t seq = 0, std::uint32_t total = 1) {
-  auto msg = std::make_shared<Message>();
-  msg->src = src;
-  msg->dst = dst;
-  msg->id = id;
-  msg->bytes = bytes;
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.id = id;
+  msg.bytes = bytes;
   Packet pkt;
   pkt.src = src;
   pkt.dst = dst;
-  pkt.msg = std::move(msg);
+  pkt.msg = net::MsgRef::make(std::move(msg));
   pkt.bytes = bytes;
   pkt.seq = seq;
   pkt.total = total;
@@ -256,11 +256,12 @@ TEST(AdaptiveRouting, ReordersUnderCongestion) {
     net.inject(make_packet(3, 15, 8000, static_cast<MsgId>(i + 1)));
   }
   // The watched multi-packet "message" 0 -> 15 (corner to corner).
-  auto msg = std::make_shared<Message>();
-  msg->src = 0;
-  msg->dst = 15;
-  msg->id = 999;
-  msg->bytes = 32 * 1024;
+  Message watched;
+  watched.src = 0;
+  watched.dst = 15;
+  watched.id = 999;
+  watched.bytes = 32 * 1024;
+  const net::MsgRef msg = net::MsgRef::make(std::move(watched));
   for (std::uint32_t seq = 0; seq < 32; ++seq) {
     Packet pkt;
     pkt.src = 0;

@@ -93,6 +93,46 @@ TEST_F(NicTest, SendDoneFiresAfterInjection) {
   EXPECT_EQ(sent_at, p.host_overhead + p.pcie_latency);
 }
 
+TEST_F(NicTest, TxQueueStallsAndDrainsUnderTightAdmission) {
+  // A transmit-queue limit of one MTU serialization forces every message
+  // after the first into the queue: admission must stall them (counted
+  // once per queued message), the drain loop must recompute the backlog
+  // only after injections actually move the link, and every message must
+  // still reach the receiver in order.
+  NicParams params;
+  params.tx_queue_limit = Bandwidth::gbps(100).serialize(4096);
+  Cluster cluster(star(2), params);
+  std::vector<std::uint32_t> arrival_order;
+  cluster.nic(1).register_proto(kProtoRdma, [&](const net::Packet& pkt) {
+    if (pkt.seq + 1 == pkt.total) {
+      arrival_order.push_back(static_cast<std::uint32_t>(pkt.msg->id & 0xff));
+    }
+  });
+  constexpr int kMessages = 6;
+  for (int i = 0; i < kMessages; ++i) {
+    net::Message msg;
+    msg.dst = 1;
+    msg.bytes = 3 * 4096;  // three packets: each message overruns the limit
+    msg.hdr.kind = net::make_kind(kProtoRdma, 1);
+    cluster.nic(0).send(std::move(msg));
+  }
+  cluster.engine().run();
+
+  ASSERT_EQ(arrival_order.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(arrival_order[static_cast<std::size_t>(i)],
+              arrival_order[0] + static_cast<std::uint32_t>(i))
+        << "FIFO order violated";
+  }
+  // All but the first message stalled exactly once; the registry mirror
+  // must agree with the NIC-local counter.
+  EXPECT_EQ(cluster.nic(0).tx_queue_stalls(),
+            static_cast<std::uint64_t>(kMessages - 1));
+  EXPECT_EQ(cluster.metrics().counter("nic.tx_queue_stalls").value(),
+            static_cast<std::uint64_t>(kMessages - 1));
+  EXPECT_EQ(cluster.nic(0).tx_queue_depth(), 0);
+}
+
 TEST_F(NicTest, AssignsDistinctMessageIds) {
   std::vector<net::MsgId> ids;
   cluster_.nic(1).register_proto(kProtoRdma, [&](const net::Packet& pkt) {

@@ -4,8 +4,11 @@
 #
 # Covers the parallel sweep machinery: the SweepExecutor pool itself,
 # the jobs=N vs jobs=1 grid determinism (which exercises concurrent
-# Cluster/Engine runs and per-run trace sinks), and the fabric tests
-# (static next-hop cache).
+# Cluster/Engine runs and per-run trace sinks), the fabric tests
+# (static next-hop cache), the NIC admission/drain path, and the
+# express-exactness tests (whose mini-grid runs express and hop-by-hop
+# fabrics concurrently across worker threads — the pooled non-atomic
+# message refcount must stay engine-local).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -16,11 +19,12 @@ build_dir=${1:-"$repo_root/build-tsan"}
 cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
 cmake --build "$build_dir" --target \
-  test_sweep_executor test_sweep_determinism test_fabric_features test_obs \
+  test_sweep_executor test_sweep_determinism test_fabric_features \
+  test_express_exactness test_nic test_obs \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_obs
+  test_express_exactness test_nic test_obs
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"
