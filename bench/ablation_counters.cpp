@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -32,7 +33,7 @@ Result run_case(int active_mailboxes, int nic_counters, Time penalty,
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   RvmaParams params;
   params.nic_counters = nic_counters;
   params.host_counter_penalty = penalty;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -45,7 +46,7 @@ TrialResult run_one_trial(net::Routing routing, int t,
   {
     nic::NicParams nic_params;
     nic_params.mtu = 1024;
-    nic::Cluster cluster(hyperx(routing, 100 + t), nic_params);
+    cluster::Cluster cluster(hyperx(routing, 100 + t), nic_params);
     rdma::RdmaEndpoint rdma_src(cluster.nic(0), rdma::RdmaParams{});
     rdma::RdmaEndpoint rdma_dst(cluster.nic(15), rdma::RdmaParams{});
     core::RvmaEndpoint rvma_src(cluster.nic(1), core::RvmaParams{});

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iterator>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "exec/sweep_executor.hpp"
@@ -34,7 +35,7 @@ Time sweep_time(Time pcie, bool use_rvma) {
   cfg.seed = 4;
   nic::NicParams nic_params;
   nic_params.pcie_latency = pcie;
-  nic::Cluster cluster(cfg, nic_params);
+  cluster::Cluster cluster(cfg, nic_params);
 
   motifs::Sweep3DConfig sweep;
   sweep.pex = 6;

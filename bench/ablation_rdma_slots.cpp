@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "exec/sweep_executor.hpp"
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
   const std::vector<int> slot_depths = {1, 2, 4, 8, 16};
   const auto results = exec::sweep_map<MotifResult>(
       jobs, slot_depths.size() + 1, [&](std::size_t i) {
-        nic::Cluster cluster(fattree(cfg.ranks()), nic::NicParams{});
+        cluster::Cluster cluster(fattree(cfg.ranks()), nic::NicParams{});
         if (i == 0) {
           RvmaTransport transport(cluster, core::RvmaParams{});
           return MotifRunner(cluster, transport, build_incast(cfg)).run();

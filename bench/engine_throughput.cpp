@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "net/topology.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
 
 // ------------------------------------------------------------------
@@ -175,7 +175,7 @@ FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes,
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 8;
   cfg.express = express;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  rvma::cluster::Cluster cluster(cfg, nic::NicParams{});
   const int n = cluster.num_nodes();
   // Each sender keeps a small window of messages in flight and re-arms when
   // the *last packet of a message is delivered* (not when it is injected:

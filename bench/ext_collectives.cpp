@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -28,7 +29,7 @@ Time run_once(const std::vector<RankProgram>& programs, int nodes,
   cfg.nodes_hint = nodes;
   cfg.link.bw = bw;
   cfg.seed = 11;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   if (use_rvma) {
     RvmaTransport transport(cluster, core::RvmaParams{});
     return MotifRunner(cluster, transport, programs).run().makespan;

@@ -8,6 +8,7 @@
 // and the registered-region footprint the RDMA server must dedicate.
 #include <cstdio>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "motifs/incast.hpp"
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
     Time rdma_time = 0, rvma_time = 0;
     std::uint64_t rdma_ctrl = 0, rvma_ctrl = 0, regions = 0;
     {
-      nic::Cluster cluster(net_cfg, nic::NicParams{});
+      cluster::Cluster cluster(net_cfg, nic::NicParams{});
       RdmaTransport transport(cluster, rdma::RdmaParams{}, false, 2);
       const MotifResult r =
           MotifRunner(cluster, transport, build_incast(cfg)).run();
@@ -59,7 +60,7 @@ int main(int argc, char** argv) {
       regions = transport.endpoint(0).stats().regions_registered;
     }
     {
-      nic::Cluster cluster(net_cfg, nic::NicParams{});
+      cluster::Cluster cluster(net_cfg, nic::NicParams{});
       RvmaTransport transport(cluster, core::RvmaParams{});
       const MotifResult r =
           MotifRunner(cluster, transport, build_incast(cfg)).run();

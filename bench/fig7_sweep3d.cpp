@@ -5,39 +5,33 @@
 // x link speeds {100, 200, 400 Gbps, 2 Tbps}. Paper headlines: RVMA >= 2x
 // everywhere, 4.4x best (2 Tbps adaptively routed dragonfly), 3.56x mean.
 //
-// Default scale here is 64 ranks (simulating on one host core); the
-// wavefront's protocol-message critical path — what produces the speedup —
-// is per-hop and scale-invariant. Use --nodes=<N> to scale up.
-#include <cmath>
+// Thin grid-spec emitter over the scenario layer: the bench just names
+// the motif and its parameters; src/scenario/figure_grid runs the grid.
+// `--emit-grid=<path>` writes the equivalent rvma-scenario-grid-v1
+// document for rvma_run. Default scale here is 64 ranks (simulating on
+// one host core); the wavefront's protocol-message critical path — what
+// produces the speedup — is per-hop and scale-invariant. Use --nodes=<N>
+// to scale up (the process grid re-derives near-squarely).
+#include "scenario/figure_grid.hpp"
 
-#include "motif_table.hpp"
-#include "motifs/sweep3d.hpp"
-
-using namespace rvma;
-using namespace rvma::motifs;
+using namespace rvma::scenario;
 
 int main(int argc, char** argv) {
-  MotifBenchConfig bench;
-  bench.figure = "Figure 7";
-  bench.motif = "Sweep3D";
-  bench.nodes = 64;
-  bench.build = [](int nodes) {
-    Sweep3DConfig cfg;
-    // Near-square process grid that fits in `nodes` ranks.
-    cfg.pex = std::max(1, static_cast<int>(std::sqrt(nodes)));
-    cfg.pey = std::max(1, nodes / cfg.pex);
-    // Medium-size wavefront messages (paper: "medium to large"): 12 KiB
-    // faces, so serialization matters at 100 Gbps while the per-step
-    // control messages dominate at 2 Tbps — the crossover the paper shows.
-    cfg.nx = 48;
-    cfg.ny = 48;
-    cfg.nz = 64;
-    cfg.kba = 8;
-    cfg.vars = 4;
-    // Paper: motifs "use minimal compute to compare the impact of
-    // communication" — keep the block work well under the message costs.
-    cfg.compute_per_cell = 20 * kPicosecond;
-    return build_sweep3d(cfg);
-  };
-  return run_motif_figure(bench, argc, argv);
+  GridSpec grid;
+  grid.figure = "Figure 7";
+  grid.motif_label = "Sweep3D";
+  grid.base.nodes = 64;
+  grid.base.motif = "sweep3d";
+  // Medium-size wavefront messages (paper: "medium to large"): 12 KiB
+  // faces, so serialization matters at 100 Gbps while the per-step
+  // control messages dominate at 2 Tbps — the crossover the paper shows.
+  // Minimal compute (paper: motifs "use minimal compute to compare the
+  // impact of communication") keeps block work under the message costs.
+  grid.base.motif_params = {{"nx", "48"},
+                            {"ny", "48"},
+                            {"nz", "64"},
+                            {"kba", "8"},
+                            {"vars", "4"},
+                            {"compute_per_cell", "20ps"}};
+  return run_figure_cli(std::move(grid), argc, argv);
 }

@@ -6,32 +6,27 @@
 // headlines: 1.57x mean speedup; best cases on HyperX DOR — 1.64x at
 // 400 Gbps and 1.89x at 2 Tbps.
 //
-// Default scale 64 ranks (one host core); --nodes=<N> scales up.
-#include <cmath>
+// Thin grid-spec emitter over the scenario layer: the bench just names
+// the motif and its parameters; src/scenario/figure_grid runs the grid.
+// `--emit-grid=<path>` writes the equivalent rvma-scenario-grid-v1
+// document for rvma_run. Default scale 64 ranks; --nodes=<N> scales up
+// (the process grid re-derives near-cubically from the rank count).
+#include "scenario/figure_grid.hpp"
 
-#include "motif_table.hpp"
-#include "motifs/halo3d.hpp"
-
-using namespace rvma;
-using namespace rvma::motifs;
+using namespace rvma::scenario;
 
 int main(int argc, char** argv) {
-  MotifBenchConfig bench;
-  bench.figure = "Figure 8";
-  bench.motif = "Halo3D";
-  bench.nodes = 64;
-  bench.build = [](int nodes) {
-    Halo3DConfig cfg;
-    // Near-cubic process grid that fits in `nodes` ranks.
-    int p = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(nodes))));
-    cfg.px = p;
-    cfg.py = p;
-    cfg.pz = std::max(1, nodes / (p * p));
-    cfg.nx = cfg.ny = cfg.nz = 32;   // 32 KiB faces: bandwidth-sensitive
-    cfg.vars = 4;
-    cfg.iterations = 4;
-    cfg.compute_per_cell = 50 * kPicosecond;
-    return build_halo3d(cfg);
-  };
-  return run_motif_figure(bench, argc, argv);
+  GridSpec grid;
+  grid.figure = "Figure 8";
+  grid.motif_label = "Halo3D";
+  grid.base.nodes = 64;
+  grid.base.motif = "halo3d";
+  // 32 KiB faces: bandwidth-sensitive.
+  grid.base.motif_params = {{"nx", "32"},
+                            {"ny", "32"},
+                            {"nz", "32"},
+                            {"vars", "4"},
+                            {"iterations", "4"},
+                            {"compute_per_cell", "50ps"}};
+  return run_figure_cli(std::move(grid), argc, argv);
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 
 using namespace rvma;
@@ -26,7 +27,7 @@ int main() {
   net::NetworkConfig net_cfg;
   net_cfg.topology = net::TopologyKind::kStar;
   net_cfg.nodes_hint = 2;
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(net_cfg, nic::NicParams{});
   core::RvmaEndpoint compute_node(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint checkpoint_node(cluster.nic(1), core::RvmaParams{});
 

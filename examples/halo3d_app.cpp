@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "core/endpoint.hpp"
 
@@ -50,7 +51,7 @@ int main(int argc, char** argv) {
   net_cfg.topology = net::TopologyKind::kTorus3D;
   net_cfg.routing = net::Routing::kAdaptive;
   net_cfg.nodes_hint = px;
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(net_cfg, nic::NicParams{});
   if (cluster.num_nodes() < px) {
     std::fprintf(stderr, "topology too small\n");
     return 2;

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "core/endpoint.hpp"
 
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   net_cfg.topology = net::TopologyKind::kFatTree;
   net_cfg.routing = net::Routing::kAdaptive;
   net_cfg.nodes_hint = clients + 1;
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(net_cfg, nic::NicParams{});
   const int server_node = 0;
 
   core::RvmaEndpoint server(cluster.nic(server_node), core::RvmaParams{});

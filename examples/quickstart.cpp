@@ -12,17 +12,17 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 
 using namespace rvma;
 
 int main() {
   // 1. A simulated 2-node cluster (one switch, 100 Gbps links).
-  net::NetworkConfig net_cfg;
-  net_cfg.topology = net::TopologyKind::kStar;
-  net_cfg.nodes_hint = 2;
-  net_cfg.link.bw = Bandwidth::gbps(100);
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(cluster::ClusterBuilder()
+                               .topology(net::TopologyKind::kStar)
+                               .nodes(2)
+                               .link_bandwidth(Bandwidth::gbps(100)));
 
   core::RvmaEndpoint initiator(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint target(cluster.nic(1), core::RvmaParams{});

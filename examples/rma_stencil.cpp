@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "rma/rma_window.hpp"
 
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   net::NetworkConfig net_cfg;
   net_cfg.topology = net::TopologyKind::kTorus3D;
   net_cfg.nodes_hint = ranks;
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(net_cfg, nic::NicParams{});
 
   std::vector<std::unique_ptr<core::RvmaEndpoint>> eps;
   std::vector<core::RvmaEndpoint*> raw;

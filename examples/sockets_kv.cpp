@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/cli.hpp"
 #include "sockets/socket_stack.hpp"
 
@@ -68,7 +69,7 @@ int main(int argc, char** argv) {
   net::NetworkConfig net_cfg;
   net_cfg.topology = net::TopologyKind::kFatTree;
   net_cfg.nodes_hint = clients + 1;
-  nic::Cluster cluster(net_cfg, nic::NicParams{});
+  cluster::Cluster cluster(net_cfg, nic::NicParams{});
 
   std::vector<std::unique_ptr<core::RvmaEndpoint>> eps;
   std::vector<std::unique_ptr<SocketStack>> stacks;

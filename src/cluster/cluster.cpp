@@ -1,0 +1,75 @@
+#include "cluster/cluster.hpp"
+
+#include "common/log.hpp"
+#include "common/trace.hpp"
+
+namespace rvma::cluster {
+
+Cluster::Cluster(const net::NetworkConfig& net_config,
+                 const nic::NicParams& nic_params) {
+  // Every experiment builds a Cluster, so this is the one-time hook for
+  // the environment-driven diagnostics (RVMA_LOG / RVMA_TRACE).
+  static const bool env_initialized = [] {
+    init_log_from_env();
+    init_trace_from_env();
+    return true;
+  }();
+  (void)env_initialized;
+  network_ = std::make_unique<net::Network>(engine_, net_config, &metrics_);
+  const int n = network_->num_nodes();
+  nics_.reserve(n);
+  for (net::NodeId node = 0; node < n; ++node) {
+    nics_.push_back(std::make_unique<nic::Nic>(engine_, *network_, node,
+                                               nic_params, &metrics_));
+  }
+
+  // Standard sampler columns. Providers only dereference Cluster-owned
+  // state (engine, fabric, NICs, registry), all of which outlives the
+  // sampler's use. Same-named providers sum into one column (NIC queues).
+  sampler_.add_gauge("engine.heap_depth", [this] {
+    return static_cast<std::int64_t>(engine_.pending());
+  });
+  sampler_.add_gauge("fabric.inflight_packets", [this] {
+    return network_->fabric().inflight_packets();
+  });
+  sampler_.add_gauge("fabric.port_backlog_ns", [this] {
+    // Single conversion point for this column lives on the Fabric
+    // (current_port_backlog_max_ns), shared with the registry gauge's unit.
+    return network_->fabric().current_port_backlog_max_ns();
+  });
+  for (const auto& nic : nics_) {
+    nic::Nic* raw = nic.get();
+    sampler_.add_gauge("nic.tx_queue_depth", [raw] {
+      return raw->tx_queue_depth();
+    });
+  }
+  // Endpoint levels derived from counter pairs: endpoints come and go per
+  // experiment, but the registry counters they mirror into are stable.
+  sampler_.add_gauge("rvma.posted_buffers", [this] {
+    return static_cast<std::int64_t>(
+        metrics_.counter("rvma.buffers_posted").value() -
+        metrics_.counter("rvma.buffers_retired").value());
+  });
+  sampler_.add_gauge("rvma.nic_counters_in_use", [this] {
+    return static_cast<std::int64_t>(
+        metrics_.counter("rvma.nic_counters_acquired").value() -
+        metrics_.counter("rvma.nic_counters_released").value());
+  });
+}
+
+Cluster::Cluster(const ClusterBuilder& builder)
+    : Cluster(builder.net_config(), builder.nic_params()) {}
+
+void Cluster::enable_sampling(Time period) {
+  sampler_.enable(period);
+  engine_.set_sampler(&sampler_);
+}
+
+obs::MetricsSnapshot Cluster::collect_metrics() const {
+  obs::MetricsSnapshot snap = metrics_.snapshot();
+  snap.counters["engine.events_executed"] = engine_.executed_events();
+  snap.counters["engine.events_scheduled"] = engine_.scheduled_events();
+  return snap;
+}
+
+}  // namespace rvma::cluster

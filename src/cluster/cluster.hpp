@@ -1,0 +1,136 @@
+// Cluster: the composition root of every simulated experiment.
+//
+// Engine + network + one NIC per node + the shared metrics registry and
+// sampler. This is the single place where the simulation layers are wired
+// together; everything above it (protocol endpoints, transports, motifs,
+// benches, examples) receives an already-assembled Cluster — either built
+// directly from a NetworkConfig, fluently through ClusterBuilder, or
+// declaratively through a scenario spec (src/scenario).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "nic/nic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sim/engine.hpp"
+
+namespace rvma::cluster {
+
+class ClusterBuilder;
+
+/// Engine + network + one NIC per node: the simulated machine every
+/// experiment instantiates.
+class Cluster {
+ public:
+  Cluster(const net::NetworkConfig& net_config,
+          const nic::NicParams& nic_params);
+  explicit Cluster(const ClusterBuilder& builder);
+
+  sim::Engine& engine() { return engine_; }
+  net::Network& network() { return *network_; }
+  nic::Nic& nic(net::NodeId node) { return *nics_[node]; }
+  int num_nodes() const { return network_->num_nodes(); }
+
+  /// The cluster-wide instrument registry every layer records into.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Sampler& sampler() { return sampler_; }
+
+  /// Arm simulated-time gauge sampling (engine.heap_depth, in-flight
+  /// packets, port backlog, NIC tx queues, posted buffers...) with the
+  /// given period. Call before running the simulation.
+  void enable_sampling(Time period);
+
+  /// Registry snapshot plus the engine's own counters (events executed /
+  /// scheduled, final heap depth). Idempotent — engine values are stamped
+  /// into the snapshot, not accumulated into the registry.
+  obs::MetricsSnapshot collect_metrics() const;
+
+ private:
+  // Declaration order is lifetime order: instruments and sampler must
+  // outlive the engine/NICs that hold pointers into them (destruction
+  // runs in reverse).
+  obs::MetricsRegistry metrics_;
+  obs::Sampler sampler_{metrics_};
+  sim::Engine engine_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<nic::Nic>> nics_;
+};
+
+/// Fluent front-end over (NetworkConfig, NicParams) for callers that wire
+/// a machine inline — examples, benches, perf harnesses. Keeps the
+/// "construct Engine/Fabric/NIC" knowledge inside this library: callers
+/// describe the machine, Cluster assembles it.
+///
+///   cluster::Cluster c(cluster::ClusterBuilder()
+///                          .topology(net::TopologyKind::kFatTree)
+///                          .routing(net::Routing::kAdaptive)
+///                          .nodes(17)
+///                          .link_bandwidth(Bandwidth::gbps(400)));
+class ClusterBuilder {
+ public:
+  ClusterBuilder& topology(net::TopologyKind kind) {
+    net_.topology = kind;
+    return *this;
+  }
+  ClusterBuilder& routing(net::Routing routing) {
+    net_.routing = routing;
+    return *this;
+  }
+  ClusterBuilder& nodes(int n) {
+    net_.nodes_hint = n;
+    return *this;
+  }
+  ClusterBuilder& link_bandwidth(Bandwidth bw) {
+    net_.link.bw = bw;
+    return *this;
+  }
+  ClusterBuilder& link_latency(Time t) {
+    net_.link.latency = t;
+    return *this;
+  }
+  ClusterBuilder& switch_latency(Time t) {
+    net_.switch_latency = t;
+    return *this;
+  }
+  ClusterBuilder& xbar_factor(double factor) {
+    net_.xbar_factor = factor;
+    return *this;
+  }
+  ClusterBuilder& concentration(int c) {
+    net_.concentration = c;
+    return *this;
+  }
+  ClusterBuilder& seed(std::uint64_t s) {
+    net_.seed = s;
+    return *this;
+  }
+  ClusterBuilder& express(bool on) {
+    net_.express = on;
+    return *this;
+  }
+  /// Wholesale overrides for callers that already hold a config.
+  ClusterBuilder& net_config(const net::NetworkConfig& config) {
+    net_ = config;
+    return *this;
+  }
+  ClusterBuilder& nic_params(const nic::NicParams& params) {
+    nic_ = params;
+    return *this;
+  }
+
+  const net::NetworkConfig& net_config() const { return net_; }
+  const nic::NicParams& nic_params() const { return nic_; }
+
+  std::unique_ptr<Cluster> build() const {
+    return std::make_unique<Cluster>(net_, nic_);
+  }
+
+ private:
+  net::NetworkConfig net_;
+  nic::NicParams nic_;
+};
+
+}  // namespace rvma::cluster

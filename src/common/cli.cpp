@@ -46,6 +46,18 @@ bool Cli::get_bool(const std::string& key, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::pair<std::string, std::string>> Cli::take_prefixed(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, value] : opts_) {
+    if (key.size() > prefix.size() && key.rfind(prefix, 0) == 0) {
+      consumed_[key] = true;
+      out.emplace_back(key.substr(prefix.size()), value);
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> Cli::unconsumed() const {
   std::vector<std::string> out;
   for (const auto& [key, _] : opts_) {

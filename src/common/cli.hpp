@@ -31,6 +31,12 @@ class Cli {
   /// reject typos. Returns empty vector when everything was consumed.
   std::vector<std::string> unconsumed() const;
 
+  /// All options whose key starts with `prefix`, with the prefix stripped,
+  /// in sorted key order; marks them consumed. For dynamic option families
+  /// like the scenario overlay's --motif.<param>=<value>.
+  std::vector<std::pair<std::string, std::string>> take_prefixed(
+      const std::string& prefix) const;
+
  private:
   std::map<std::string, std::string> opts_;
   mutable std::map<std::string, bool> consumed_;

@@ -1,5 +1,8 @@
 #include "common/units.hpp"
 
+#include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace rvma {
@@ -37,6 +40,130 @@ std::string format_bandwidth(Bandwidth bw) {
   if (bw.bits_per_sec >= 1e12) return fmt(bw.bits_per_sec / 1e12, "Tbps");
   if (bw.bits_per_sec >= 1e9) return fmt(bw.bits_per_sec / 1e9, "Gbps");
   return fmt(bw.bits_per_sec / 1e6, "Mbps");
+}
+
+// ---- unit-string parsing --------------------------------------------------
+
+namespace {
+
+/// Split "2.5us" / "64 KiB" / "4096" into a decimal value and a
+/// (possibly empty) unit suffix. Returns false on malformed numbers or
+/// trailing garbage after the unit.
+bool split_number_unit(std::string_view text, double* value,
+                       std::string* unit) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
+    text.remove_suffix(1);
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value);
+  if (ec != std::errc{} || ptr == begin) return false;
+  std::string_view rest(ptr, static_cast<std::size_t>(end - ptr));
+  while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front())))
+    rest.remove_prefix(1);
+  unit->assign(rest);
+  return true;
+}
+
+/// `value` scaled by `scale` if the product is integral and in range.
+bool exact_scaled(double value, double scale, std::uint64_t* out) {
+  const double scaled = value * scale;
+  if (!(scaled >= 0.0) || scaled > 1.8e19) return false;
+  if (scaled != std::floor(scaled)) return false;
+  *out = static_cast<std::uint64_t>(scaled);
+  return true;
+}
+
+/// Shortest decimal rendering that parses back to exactly `v`.
+std::string shortest_double(double v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, ptr);
+}
+
+}  // namespace
+
+bool parse_duration(std::string_view text, Time* out) {
+  if (text == "inf") {
+    *out = kTimeInfinity;
+    return true;
+  }
+  double value = 0.0;
+  std::string unit;
+  if (!split_number_unit(text, &value, &unit)) return false;
+  double scale = 0.0;
+  if (unit == "s") scale = static_cast<double>(kSecond);
+  else if (unit == "ms") scale = static_cast<double>(kMillisecond);
+  else if (unit == "us") scale = static_cast<double>(kMicrosecond);
+  else if (unit == "ns") scale = static_cast<double>(kNanosecond);
+  else if (unit == "ps" || unit.empty()) scale = 1.0;
+  else return false;
+  return exact_scaled(value, scale, out);
+}
+
+bool parse_size(std::string_view text, std::uint64_t* out) {
+  double value = 0.0;
+  std::string unit;
+  if (!split_number_unit(text, &value, &unit)) return false;
+  double scale = 0.0;
+  if (unit == "GiB") scale = static_cast<double>(GiB);
+  else if (unit == "MiB") scale = static_cast<double>(MiB);
+  else if (unit == "KiB") scale = static_cast<double>(KiB);
+  else if (unit == "B" || unit.empty()) scale = 1.0;
+  else return false;
+  return exact_scaled(value, scale, out);
+}
+
+bool parse_bandwidth(std::string_view text, Bandwidth* out) {
+  double value = 0.0;
+  std::string unit;
+  if (!split_number_unit(text, &value, &unit)) return false;
+  double scale = 0.0;
+  if (unit == "Tbps") scale = 1e12;
+  else if (unit == "Gbps") scale = 1e9;
+  else if (unit == "Mbps") scale = 1e6;
+  else if (unit == "Kbps") scale = 1e3;
+  else if (unit == "bps" || unit.empty()) scale = 1.0;
+  else return false;
+  if (!(value >= 0.0)) return false;
+  *out = Bandwidth{value * scale};
+  return true;
+}
+
+std::string canonical_duration(Time t) {
+  if (t == kTimeInfinity) return "inf";
+  struct { Time unit; const char* suffix; } steps[] = {
+      {kSecond, "s"}, {kMillisecond, "ms"}, {kMicrosecond, "us"},
+      {kNanosecond, "ns"}};
+  for (const auto& s : steps) {
+    if (t >= s.unit && t % s.unit == 0)
+      return std::to_string(t / s.unit) + s.suffix;
+  }
+  return std::to_string(t) + "ps";
+}
+
+std::string canonical_size(std::uint64_t bytes) {
+  if (bytes >= GiB && bytes % GiB == 0) return std::to_string(bytes / GiB) + "GiB";
+  if (bytes >= MiB && bytes % MiB == 0) return std::to_string(bytes / MiB) + "MiB";
+  if (bytes >= KiB && bytes % KiB == 0) return std::to_string(bytes / KiB) + "KiB";
+  return std::to_string(bytes) + "B";
+}
+
+std::string canonical_bandwidth(Bandwidth bw) {
+  struct { double unit; const char* suffix; } steps[] = {
+      {1e12, "Tbps"}, {1e9, "Gbps"}, {1e6, "Mbps"}, {1e3, "Kbps"}};
+  for (const auto& s : steps) {
+    const double scaled = bw.bits_per_sec / s.unit;
+    // Emit in this unit only when division is exact under round-trip:
+    // the parser recomputes scaled * unit, which must restore the value.
+    if (scaled >= 1.0 && scaled * s.unit == bw.bits_per_sec &&
+        scaled == std::floor(scaled)) {
+      return shortest_double(scaled) + s.suffix;
+    }
+  }
+  return shortest_double(bw.bits_per_sec) + "bps";
 }
 
 }  // namespace rvma

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace rvma {
 
@@ -69,5 +70,31 @@ std::string format_time(Time t);
 std::string format_size(std::uint64_t bytes);
 /// Human-readable bandwidth, e.g. "400 Gbps" / "2 Tbps".
 std::string format_bandwidth(Bandwidth bw);
+
+// ---- unit-string parsing (scenario specs, CLI flags) ----------------------
+//
+// Each parser accepts a decimal number followed by a unit suffix, with
+// optional whitespace in between ("100Gbps", "2.5 us", "64KiB"). On
+// success the value is stored and true returned; malformed text, unknown
+// units, or values that do not land on an exact representable quantity
+// (e.g. a fractional picosecond) return false and leave *out untouched.
+
+/// "2.5us", "150 ns", "1ms", "0s", bare picoseconds "1500ps", or "inf"
+/// (-> kTimeInfinity, for unbounded queue depths).
+bool parse_duration(std::string_view text, Time* out);
+
+/// "64KiB", "4 MiB", "2GiB", or a bare byte count "4096" / "512B".
+bool parse_size(std::string_view text, std::uint64_t* out);
+
+/// "100Gbps", "2Tbps", "800 Mbps", or bare bits-per-second "125000bps".
+bool parse_bandwidth(std::string_view text, Bandwidth* out);
+
+// Canonical renderings: the exact inverse of the parsers (no rounding, no
+// padding), used wherever a unit value must survive a byte-stable JSON
+// round-trip (scenario specs). canonical -> parse -> canonical is the
+// identity for every representable value.
+std::string canonical_duration(Time t);
+std::string canonical_size(std::uint64_t bytes);
+std::string canonical_bandwidth(Bandwidth bw);
 
 }  // namespace rvma

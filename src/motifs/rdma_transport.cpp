@@ -1,10 +1,11 @@
+#include "cluster/cluster.hpp"
 #include "motifs/rdma_transport.hpp"
 
 #include <cassert>
 
 namespace rvma::motifs {
 
-RdmaTransport::RdmaTransport(nic::Cluster& cluster,
+RdmaTransport::RdmaTransport(cluster::Cluster& cluster,
                              const rdma::RdmaParams& params,
                              bool ordered_network, int slots)
     : cluster_(cluster),

@@ -23,7 +23,7 @@
 #include <memory>
 
 #include "motifs/transport.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 #include "rdma/rdma.hpp"
 
 namespace rvma::motifs {
@@ -33,7 +33,7 @@ class RdmaTransport final : public Transport {
   /// `ordered_network`: true when the fabric is statically routed (byte
   /// ordering holds), enabling the last-byte completion cheat. `slots`:
   /// registered buffer slots per channel (credit pipeline depth).
-  RdmaTransport(nic::Cluster& cluster, const rdma::RdmaParams& params,
+  RdmaTransport(cluster::Cluster& cluster, const rdma::RdmaParams& params,
                 bool ordered_network, int slots = 1);
 
   std::string name() const override {
@@ -79,7 +79,7 @@ class RdmaTransport final : public Transport {
   void grant_credit(ChannelState& cs);
   void pump_cq(int node);
 
-  nic::Cluster& cluster_;
+  cluster::Cluster& cluster_;
   rdma::RdmaParams params_;
   bool ordered_network_;
   int slots_;

@@ -1,3 +1,4 @@
+#include "cluster/cluster.hpp"
 #include "motifs/runner.hpp"
 
 #include <cassert>
@@ -5,7 +6,7 @@
 
 namespace rvma::motifs {
 
-MotifRunner::MotifRunner(nic::Cluster& cluster, Transport& transport,
+MotifRunner::MotifRunner(cluster::Cluster& cluster, Transport& transport,
                          std::vector<RankProgram> programs)
     : cluster_(cluster),
       transport_(transport),

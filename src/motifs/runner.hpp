@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "motifs/transport.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 
 namespace rvma::motifs {
 
@@ -43,7 +43,7 @@ struct MotifResult {
 
 class MotifRunner {
  public:
-  MotifRunner(nic::Cluster& cluster, Transport& transport,
+  MotifRunner(cluster::Cluster& cluster, Transport& transport,
               std::vector<RankProgram> programs);
 
   /// Derive channels from the programs (sends are the source of truth);
@@ -58,7 +58,7 @@ class MotifRunner {
   void advance(int rank);
   void finish_rank(int rank);
 
-  nic::Cluster& cluster_;
+  cluster::Cluster& cluster_;
   Transport& transport_;
   std::vector<RankProgram> programs_;
   std::vector<std::size_t> pc_;

@@ -1,10 +1,11 @@
+#include "cluster/cluster.hpp"
 #include "motifs/rvma_transport.hpp"
 
 #include <cassert>
 
 namespace rvma::motifs {
 
-RvmaTransport::RvmaTransport(nic::Cluster& cluster,
+RvmaTransport::RvmaTransport(cluster::Cluster& cluster,
                              const core::RvmaParams& params, int bucket_depth)
     : cluster_(cluster), bucket_depth_(bucket_depth) {
   endpoints_.reserve(cluster.num_nodes());

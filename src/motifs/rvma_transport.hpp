@@ -15,14 +15,14 @@
 
 #include "core/endpoint.hpp"
 #include "motifs/transport.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 
 namespace rvma::motifs {
 
 class RvmaTransport final : public Transport {
  public:
   /// `bucket_depth`: buffers kept posted per mailbox at any time.
-  RvmaTransport(nic::Cluster& cluster, const core::RvmaParams& params,
+  RvmaTransport(cluster::Cluster& cluster, const core::RvmaParams& params,
                 int bucket_depth = 16);
 
   std::string name() const override { return "rvma"; }
@@ -49,7 +49,7 @@ class RvmaTransport final : public Transport {
 
   ChannelState& state(int src, int dst, std::uint64_t tag);
 
-  nic::Cluster& cluster_;
+  cluster::Cluster& cluster_;
   int bucket_depth_;
   std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
   std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;

@@ -17,7 +17,6 @@
 
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
-#include "obs/sampler.hpp"
 #include "sim/engine.hpp"
 
 namespace rvma::nic {
@@ -126,42 +125,6 @@ class Nic {
   obs::Counter* c_packets_received_;
   obs::Counter* c_tx_queue_stalls_;
   obs::Counter* c_drops_no_handler_;
-};
-
-/// Engine + network + one NIC per node: the simulated machine every
-/// experiment instantiates.
-class Cluster {
- public:
-  Cluster(const net::NetworkConfig& net_config, const NicParams& nic_params);
-
-  sim::Engine& engine() { return engine_; }
-  net::Network& network() { return *network_; }
-  Nic& nic(NodeId node) { return *nics_[node]; }
-  int num_nodes() const { return network_->num_nodes(); }
-
-  /// The cluster-wide instrument registry every layer records into.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  obs::Sampler& sampler() { return sampler_; }
-
-  /// Arm simulated-time gauge sampling (engine.heap_depth, in-flight
-  /// packets, port backlog, NIC tx queues, posted buffers...) with the
-  /// given period. Call before running the simulation.
-  void enable_sampling(Time period);
-
-  /// Registry snapshot plus the engine's own counters (events executed /
-  /// scheduled, final heap depth). Idempotent — engine values are stamped
-  /// into the snapshot, not accumulated into the registry.
-  obs::MetricsSnapshot collect_metrics() const;
-
- private:
-  // Declaration order is lifetime order: instruments and sampler must
-  // outlive the engine/NICs that hold pointers into them (destruction
-  // runs in reverse).
-  obs::MetricsRegistry metrics_;
-  obs::Sampler sampler_{metrics_};
-  sim::Engine engine_;
-  std::unique_ptr<net::Network> network_;
-  std::vector<std::unique_ptr<Nic>> nics_;
 };
 
 }  // namespace rvma::nic

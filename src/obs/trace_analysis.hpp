@@ -1,6 +1,6 @@
 // Offline analysis of RVMA_TRACE JSONL files.
 //
-// Shared by tools/trace_stats and `rvma_metrics trace`. Records are
+// The engine behind `rvma_metrics trace`. Records are
 // grouped by the "eng" field Engine::set_tracer stamps on every line, so
 // a trace file collecting several engines through one global sink (e.g. a
 // serial grid run) no longer double-counts: latency distributions, drop

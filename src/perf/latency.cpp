@@ -7,7 +7,7 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/endpoint.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 #include "rdma/rdma.hpp"
 
 namespace rvma::perf {
@@ -49,7 +49,7 @@ std::vector<Time> run_rvma(const SystemProfile& profile,
                            std::uint64_t bytes, int iters,
                            std::uint64_t seed,
                            obs::MetricsSnapshot* metrics_out) {
-  nic::Cluster cluster(two_node_config(profile, seed), nic_params);
+  cluster::Cluster cluster(two_node_config(profile, seed), nic_params);
   core::RvmaEndpoint sender(cluster.nic(0), profile.rvma);
   core::RvmaEndpoint receiver(cluster.nic(1), profile.rvma);
 
@@ -100,7 +100,7 @@ std::vector<Time> run_rdma(const SystemProfile& profile,
                            std::uint64_t bytes, int iters,
                            std::uint64_t seed,
                            obs::MetricsSnapshot* metrics_out) {
-  nic::Cluster cluster(two_node_config(profile, seed), nic_params);
+  cluster::Cluster cluster(two_node_config(profile, seed), nic_params);
   rdma::RdmaEndpoint sender(cluster.nic(0), profile.rdma);
   rdma::RdmaEndpoint receiver(cluster.nic(1), profile.rdma);
 
@@ -236,7 +236,7 @@ Time measure_one_put(const SystemProfile& profile, Mode mode,
 }
 
 Time measure_setup_time(const SystemProfile& profile, std::uint64_t bytes) {
-  nic::Cluster cluster(two_node_config(profile, 7), profile.nic);
+  cluster::Cluster cluster(two_node_config(profile, 7), profile.nic);
   rdma::RdmaEndpoint sender(cluster.nic(0), profile.rdma);
   rdma::RdmaEndpoint receiver(cluster.nic(1), profile.rdma);
   receiver.serve_buffer_requests(

@@ -1,0 +1,146 @@
+// Builtin motif registrations: name + params -> per-rank programs.
+//
+// Each builder reads its parameters through a ParamReader so typo'd keys
+// and malformed values fail the scenario instead of silently simulating
+// defaults. Process-grid shapes left unset derive from the rank count the
+// same way the figure benches always have (near-cubic for halo3d,
+// near-square for sweep3d), so `--nodes` alone scales a scenario.
+#include <cmath>
+
+#include "motifs/collectives.hpp"
+#include "motifs/halo3d.hpp"
+#include "motifs/incast.hpp"
+#include "motifs/sweep3d.hpp"
+#include "scenario/registry.hpp"
+
+namespace rvma::scenario {
+
+namespace {
+
+/// Shared tail: reject unknown keys / bad values with a useful message.
+bool finish_params(ParamReader& reader, const std::string& motif,
+                   std::string* error) {
+  if (!reader.ok()) {
+    if (error != nullptr)
+      *error = motif + ": bad value for param \"" + reader.bad_values()[0] +
+               "\"";
+    return false;
+  }
+  const auto leftover = reader.unconsumed();
+  if (!leftover.empty()) {
+    if (error != nullptr)
+      *error = motif + ": unknown param \"" + leftover[0] + "\"";
+    return false;
+  }
+  return true;
+}
+
+std::vector<motifs::RankProgram> build_halo3d_spec(const ScenarioSpec& spec,
+                                                   std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::Halo3DConfig cfg;
+  // Near-cubic process grid that fits in `nodes` ranks, unless the shape
+  // is pinned explicitly.
+  const int p = std::max(
+      1, static_cast<int>(std::cbrt(static_cast<double>(spec.nodes))));
+  cfg.px = reader.get_int("px", p);
+  cfg.py = reader.get_int("py", p);
+  cfg.pz = reader.get_int("pz", std::max(1, spec.nodes / (p * p)));
+  cfg.nx = reader.get_int("nx", cfg.nx);
+  cfg.ny = reader.get_int("ny", cfg.ny);
+  cfg.nz = reader.get_int("nz", cfg.nz);
+  cfg.vars = reader.get_int("vars", cfg.vars);
+  cfg.iterations = reader.get_int("iterations", cfg.iterations);
+  cfg.compute_per_cell =
+      reader.get_duration("compute_per_cell", cfg.compute_per_cell);
+  if (!finish_params(reader, "halo3d", error)) return {};
+  return motifs::build_halo3d(cfg);
+}
+
+std::vector<motifs::RankProgram> build_sweep3d_spec(const ScenarioSpec& spec,
+                                                    std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::Sweep3DConfig cfg;
+  // Near-square process grid that fits in `nodes` ranks.
+  const int pex_default =
+      std::max(1, static_cast<int>(std::sqrt(spec.nodes)));
+  cfg.pex = reader.get_int("pex", pex_default);
+  cfg.pey = reader.get_int("pey", std::max(1, spec.nodes / cfg.pex));
+  cfg.nx = reader.get_int("nx", cfg.nx);
+  cfg.ny = reader.get_int("ny", cfg.ny);
+  cfg.nz = reader.get_int("nz", cfg.nz);
+  cfg.kba = reader.get_int("kba", cfg.kba);
+  cfg.vars = reader.get_int("vars", cfg.vars);
+  cfg.compute_per_cell =
+      reader.get_duration("compute_per_cell", cfg.compute_per_cell);
+  if (!finish_params(reader, "sweep3d", error)) return {};
+  return motifs::build_sweep3d(cfg);
+}
+
+std::vector<motifs::RankProgram> build_incast_spec(const ScenarioSpec& spec,
+                                                   std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::IncastConfig cfg;
+  cfg.clients = reader.get_int("clients", std::max(1, spec.nodes - 1));
+  cfg.messages_per_client =
+      reader.get_int("messages_per_client", cfg.messages_per_client);
+  cfg.bytes = reader.get_size("bytes", cfg.bytes);
+  cfg.client_compute =
+      reader.get_duration("client_compute", cfg.client_compute);
+  if (!finish_params(reader, "incast", error)) return {};
+  return motifs::build_incast(cfg);
+}
+
+std::vector<motifs::RankProgram> build_barrier_spec(const ScenarioSpec& spec,
+                                                    std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::BarrierConfig cfg;
+  cfg.ranks = spec.nodes;
+  cfg.iterations = reader.get_int("iterations", cfg.iterations);
+  cfg.bytes = reader.get_size("bytes", cfg.bytes);
+  if (!finish_params(reader, "barrier", error)) return {};
+  return motifs::build_barrier(cfg);
+}
+
+std::vector<motifs::RankProgram> build_allreduce_spec(
+    const ScenarioSpec& spec, std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::AllReduceConfig cfg;
+  cfg.ranks = spec.nodes;
+  cfg.bytes = reader.get_size("bytes", cfg.bytes);
+  cfg.iterations = reader.get_int("iterations", cfg.iterations);
+  cfg.reduce_per_byte =
+      reader.get_duration("reduce_per_byte", cfg.reduce_per_byte);
+  if (!finish_params(reader, "allreduce", error)) return {};
+  return motifs::build_allreduce(cfg);
+}
+
+std::vector<motifs::RankProgram> build_broadcast_spec(
+    const ScenarioSpec& spec, std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::BroadcastConfig cfg;
+  cfg.ranks = spec.nodes;
+  cfg.root = reader.get_int("root", cfg.root);
+  cfg.bytes = reader.get_size("bytes", cfg.bytes);
+  cfg.iterations = reader.get_int("iterations", cfg.iterations);
+  if (!finish_params(reader, "broadcast", error)) return {};
+  return motifs::build_broadcast(cfg);
+}
+
+}  // namespace
+
+void register_builtin_motifs(Registry<MotifEntry>& reg) {
+  reg.add("halo3d", {"3-D face exchange, bandwidth-bound (paper Fig. 8)",
+                     build_halo3d_spec});
+  reg.add("sweep3d", {"KBA wavefront sweep, latency-bound (paper Fig. 7)",
+                      build_sweep3d_spec});
+  reg.add("incast", {"many clients to one server mailbox", build_incast_spec});
+  reg.add("barrier",
+          {"dissemination barrier, log2(n) signal rounds", build_barrier_spec});
+  reg.add("allreduce",
+          {"ring allreduce: reduce-scatter + allgather", build_allreduce_spec});
+  reg.add("broadcast",
+          {"binomial-tree broadcast from a root rank", build_broadcast_spec});
+}
+
+}  // namespace rvma::scenario

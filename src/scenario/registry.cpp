@@ -1,0 +1,57 @@
+#include "scenario/registry.hpp"
+
+namespace rvma::scenario {
+
+Registry<TopologyEntry>& topologies() {
+  static Registry<TopologyEntry>* reg = [] {
+    auto* r = new Registry<TopologyEntry>();
+    register_builtin_topologies(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+Registry<TransportEntry>& transports() {
+  static Registry<TransportEntry>* reg = [] {
+    auto* r = new Registry<TransportEntry>();
+    register_builtin_transports(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+Registry<MotifEntry>& motifs_registry() {
+  static Registry<MotifEntry>* reg = [] {
+    auto* r = new Registry<MotifEntry>();
+    register_builtin_motifs(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+bool parse_routing(const std::string& name, net::Routing* out) {
+  if (name == "static" || name == "DOR") {
+    *out = net::Routing::kStatic;
+    return true;
+  }
+  if (name == "adaptive") {
+    *out = net::Routing::kAdaptive;
+    return true;
+  }
+  return false;
+}
+
+void register_builtin_topologies(Registry<TopologyEntry>& reg) {
+  reg.add("star", {net::TopologyKind::kStar,
+                   "single switch, every node one hop away"});
+  reg.add("torus3d", {net::TopologyKind::kTorus3D,
+                      "3-D torus, dimension-order or adaptive routing"});
+  reg.add("fattree", {net::TopologyKind::kFatTree,
+                      "k-ary 3-level fat-tree, full bisection"});
+  reg.add("dragonfly", {net::TopologyKind::kDragonfly,
+                        "dragonfly groups with global links"});
+  reg.add("hyperx", {net::TopologyKind::kHyperX,
+                     "2-D HyperX lattice, DOR or adaptive routing"});
+}
+
+}  // namespace rvma::scenario

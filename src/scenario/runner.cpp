@@ -1,0 +1,126 @@
+#include "scenario/runner.hpp"
+
+#include "motifs/runner.hpp"
+#include "scenario/registry.hpp"
+
+namespace rvma::scenario {
+
+namespace {
+
+bool resolve(const ScenarioSpec& spec, net::NetworkConfig* cfg,
+             const TransportEntry** transport, const MotifEntry** motif,
+             std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  const TopologyEntry* topo = topologies().find(spec.topology);
+  if (topo == nullptr)
+    return fail("unknown topology \"" + spec.topology + "\"");
+  net::Routing routing = net::Routing::kStatic;
+  if (!parse_routing(spec.routing, &routing))
+    return fail("unknown routing \"" + spec.routing + "\"");
+  *transport = transports().find(spec.transport);
+  if (*transport == nullptr)
+    return fail("unknown transport \"" + spec.transport + "\"");
+  *motif = motifs_registry().find(spec.motif);
+  if (*motif == nullptr) return fail("unknown motif \"" + spec.motif + "\"");
+
+  cfg->topology = topo->kind;
+  cfg->routing = routing;
+  cfg->nodes_hint = spec.nodes;
+  cfg->link.bw = spec.link_bandwidth;
+  cfg->link.latency = spec.link_latency;
+  cfg->switch_latency = spec.switch_latency;
+  cfg->xbar_factor = spec.xbar_factor;
+  cfg->concentration = spec.concentration;
+  cfg->seed = spec.seed;
+  cfg->express = spec.express;
+  return true;
+}
+
+}  // namespace
+
+bool validate_scenario(const ScenarioSpec& spec, std::string* error) {
+  net::NetworkConfig cfg;
+  const TransportEntry* transport = nullptr;
+  const MotifEntry* motif = nullptr;
+  if (!resolve(spec, &cfg, &transport, &motif, error)) return false;
+  std::string build_error;
+  if (motif->build(spec, &build_error).empty() && !build_error.empty()) {
+    if (error != nullptr) *error = build_error;
+    return false;
+  }
+  return true;
+}
+
+bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
+                  std::string* error, Tracer* trace_sink,
+                  std::int64_t eng_id) {
+  net::NetworkConfig cfg;
+  const TransportEntry* transport_entry = nullptr;
+  const MotifEntry* motif_entry = nullptr;
+  if (!resolve(spec, &cfg, &transport_entry, &motif_entry, error))
+    return false;
+
+  cluster::Cluster cluster(cfg, nic::NicParams{});
+  // Stamp the run id even when keeping the process-default sink: serial
+  // grids funnel every run through Tracer::global(), and without distinct
+  // "eng" fields trace analyses would mix (and double-count) the runs.
+  cluster.engine().set_tracer(
+      trace_sink != nullptr ? trace_sink : cluster.engine().tracer(), eng_id);
+  if (spec.sample_period > 0) cluster.enable_sampling(spec.sample_period);
+
+  std::string build_error;
+  auto programs = motif_entry->build(spec, &build_error);
+  if (programs.empty() && !build_error.empty()) {
+    if (error != nullptr) *error = build_error;
+    return false;
+  }
+  std::unique_ptr<motifs::Transport> transport =
+      transport_entry->make(cluster, spec);
+  const motifs::MotifResult result =
+      motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
+
+  const net::FabricStats& fabric = cluster.network().fabric().stats();
+  ScenarioResult res;
+  res.makespan = result.makespan;
+  res.packets_injected = fabric.packets_injected;
+  res.packets_delivered = fabric.packets_delivered;
+  res.route_cache_hits = fabric.route_cache_hits;
+  res.engine_events = result.engine_events;
+  res.trace_events = trace_sink != nullptr ? trace_sink->events_written() : 0;
+  res.metrics = cluster.collect_metrics();
+  if (spec.sample_period > 0) res.series = cluster.sampler().take_series();
+  *out = std::move(res);
+  return true;
+}
+
+obs::MetricsDoc build_scenario_metrics_doc(const ScenarioSpec& spec,
+                                           const ScenarioResult& result) {
+  obs::MetricsDoc doc;
+  doc.tool = "rvma_run";
+  if (!spec.name.empty()) doc.meta["scenario"] = spec.name;
+  doc.meta["topology"] = spec.topology;
+  doc.meta["routing"] = spec.routing;
+  doc.meta["transport"] = spec.transport;
+  doc.meta["motif"] = spec.motif;
+  doc.meta["nodes"] = std::to_string(spec.nodes);
+  doc.meta["seed"] = std::to_string(spec.seed);
+  if (spec.sample_period > 0) {
+    doc.meta["sample_period_us"] =
+        std::to_string(spec.sample_period / kMicrosecond);
+  }
+  doc.totals.merge(result.metrics);
+  if (!result.series.empty()) {
+    doc.timeseries.push_back(result.series);
+    if (doc.timeseries.back().label.empty()) {
+      doc.timeseries.back().label = spec.topology + "-" + spec.routing + "@" +
+                                    format_bandwidth(spec.link_bandwidth) +
+                                    "/" + spec.transport;
+    }
+  }
+  return doc;
+}
+
+}  // namespace rvma::scenario

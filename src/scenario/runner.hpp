@@ -1,0 +1,59 @@
+// ScenarioRunner: materialize and execute one ScenarioSpec.
+//
+// The single place a declarative spec becomes a live simulation: resolve
+// the topology/transport/motif names through the registries, assemble the
+// Cluster (composition root, src/cluster), run the motif, and return
+// everything observable — makespan, fabric stats, the merged metrics
+// snapshot, and the sampled timeseries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_io.hpp"
+#include "obs/sampler.hpp"
+#include "scenario/spec.hpp"
+
+namespace rvma::scenario {
+
+/// Everything observable from one scenario run, for table printing and
+/// the jobs=N vs jobs=1 determinism checks.
+struct ScenarioResult {
+  Time makespan = 0;
+  std::uint64_t packets_injected = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t route_cache_hits = 0;
+  std::uint64_t engine_events = 0;
+  /// Events recorded into the per-run sink; 0 when the run used the
+  /// process-default sink (per-run attribution impossible there).
+  std::uint64_t trace_events = 0;
+  /// Full registry dump for the run (counters, gauge high-waters,
+  /// histograms) — mergeable across grids in grid order.
+  obs::MetricsSnapshot metrics;
+  /// Sampled gauge timeseries; empty unless spec.sample_period > 0.
+  obs::Timeseries series;
+
+  bool operator==(const ScenarioResult&) const = default;
+};
+
+/// Resolve every registry name in `spec` and build the motif programs
+/// once, without running anything. Returns false with *error set on an
+/// unknown topology/routing/transport/motif or bad motif params — call
+/// before fanning a grid out so workers cannot fail mid-sweep.
+bool validate_scenario(const ScenarioSpec& spec, std::string* error);
+
+/// Run one scenario. When `trace_sink` is non-null it becomes the run's
+/// engine sink (per-run isolation); null keeps the process default.
+/// `eng_id` is stamped into every trace record so analyses can separate
+/// runs sharing one sink; grid runners pass the run index.
+bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
+                  std::string* error, Tracer* trace_sink = nullptr,
+                  std::int64_t eng_id = 0);
+
+/// Metrics document for a single (non-grid) run.
+obs::MetricsDoc build_scenario_metrics_doc(const ScenarioSpec& spec,
+                                           const ScenarioResult& result);
+
+}  // namespace rvma::scenario

@@ -1,0 +1,334 @@
+#include "scenario/transports.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "motifs/rdma_transport.hpp"
+#include "motifs/rvma_transport.hpp"
+#include "scenario/registry.hpp"
+
+namespace rvma::scenario {
+
+// ---------------------------------------------------------------- sockets
+
+SocketsTransport::SocketsTransport(cluster::Cluster& cluster,
+                                   const sockets::SocketParams& params)
+    : cluster_(cluster) {
+  endpoints_.reserve(cluster.num_nodes());
+  stacks_.reserve(cluster.num_nodes());
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    endpoints_.push_back(std::make_unique<core::RvmaEndpoint>(
+        cluster.nic(node), core::RvmaParams{}));
+    stacks_.push_back(
+        std::make_unique<sockets::SocketStack>(*endpoints_.back(), params));
+  }
+}
+
+SocketsTransport::ChannelState& SocketsTransport::state(int src, int dst,
+                                                        std::uint64_t tag) {
+  const auto it = channels_.find({src, dst, tag});
+  assert(it != channels_.end() && "undeclared channel");
+  return it->second;
+}
+
+void SocketsTransport::setup(const std::vector<motifs::Channel>& channels,
+                             std::function<void()> ready) {
+  std::uint64_t max_bytes = 0;
+  std::uint16_t port = 1;
+  // One listening port per channel so concurrent connects cannot cross:
+  // channel index -> port, assigned in declaration order. Setup is done
+  // only when every accept AND every connect ACK has landed — the sender
+  // side must hold its ConnId before the motif's first send.
+  auto pending = std::make_shared<int>(2 * static_cast<int>(channels.size()));
+  auto maybe_ready = [this, pending, ready]() {
+    if (--*pending == 0) cluster_.engine().schedule(0, ready);
+  };
+  for (const motifs::Channel& ch : channels) {
+    ChannelState cs;
+    cs.ch = ch;
+    max_bytes = std::max(max_bytes, ch.bytes);
+    auto [it, inserted] =
+        channels_.emplace(std::make_tuple(ch.src, ch.dst, ch.tag),
+                          std::move(cs));
+    assert(inserted && "duplicate channel");
+    ChannelState* slot = &it->second;
+    stacks_[ch.dst]->listen(port, [slot, maybe_ready](sockets::ConnId id) {
+      slot->recv_conn = id;
+      maybe_ready();
+    });
+    stacks_[ch.src]->connect(ch.dst, port,
+                             [slot, maybe_ready](sockets::ConnId id) {
+                               slot->send_conn = id;
+                               maybe_ready();
+                             });
+    ++port;
+  }
+  scratch_.assign(max_bytes, std::byte{0});
+  if (channels.empty()) cluster_.engine().schedule(0, std::move(ready));
+}
+
+void SocketsTransport::recv_post(int, int, std::uint64_t) {
+  // Receiver-managed placement: the stack owns its segment ring; arming a
+  // receive requires no action and no message (paper §IV-B).
+}
+
+void SocketsTransport::send(int src, int dst, std::uint64_t tag,
+                            std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  ++stats_.data_messages;
+  stacks_[src]->send(cs.send_conn, scratch_.data(), cs.ch.bytes);
+  // Stream semantics: the send is fire-and-forget; the sender's buffer is
+  // reusable as soon as the stack has staged the put.
+  cluster_.engine().schedule(0, std::move(done));
+}
+
+void SocketsTransport::drain(ChannelState& cs) {
+  sockets::SocketStack& stack = *stacks_[cs.ch.dst];
+  while (cs.draining > 0) {
+    const std::uint64_t got = stack.recv(
+        cs.recv_conn, scratch_.data(),
+        std::min<std::uint64_t>(cs.draining, scratch_.size()));
+    if (got == 0) break;
+    cs.draining -= got;
+  }
+  if (cs.draining > 0) {
+    stack.recv_wait(cs.recv_conn, [this, &cs] { drain(cs); });
+    return;
+  }
+  auto done = std::move(cs.waiters.front());
+  cs.waiters.pop_front();
+  done();
+  // Start the next queued message drain, if any.
+  if (!cs.waiters.empty()) {
+    cs.draining = cs.ch.bytes;
+    drain(cs);
+  }
+}
+
+void SocketsTransport::recv_wait(int dst, int src, std::uint64_t tag,
+                                 std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  cs.waiters.push_back(std::move(done));
+  if (cs.waiters.size() == 1) {
+    cs.draining = cs.ch.bytes;
+    drain(cs);
+  }
+}
+
+// -------------------------------------------------------------------- rma
+
+RmaTransport::RmaTransport(cluster::Cluster& cluster,
+                           const core::RvmaParams& params, int bucket_depth)
+    : cluster_(cluster), bucket_depth_(bucket_depth) {
+  endpoints_.reserve(cluster.num_nodes());
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    endpoints_.push_back(
+        std::make_unique<core::RvmaEndpoint>(cluster.nic(node), params));
+  }
+}
+
+RmaTransport::ChannelState& RmaTransport::state(int src, int dst,
+                                                std::uint64_t tag) {
+  const auto it = channels_.find({src, dst, tag});
+  assert(it != channels_.end() && "undeclared channel");
+  return it->second;
+}
+
+void RmaTransport::setup(const std::vector<motifs::Channel>& channels,
+                         std::function<void()> ready) {
+  for (const motifs::Channel& ch : channels) {
+    ChannelState cs;
+    cs.ch = ch;
+    cs.vaddr = next_vaddr_++;
+    cs.remaining_posts = ch.count;
+    channels_.emplace(std::make_tuple(ch.src, ch.dst, ch.tag), std::move(cs));
+  }
+  for (auto& [key, cs_ref] : channels_) {
+    ChannelState& cs = cs_ref;
+    core::RvmaEndpoint& ep = *endpoints_[cs.ch.dst];
+    // One operation per epoch: the message completes when its put has
+    // fully arrived, independent of length — op-counted completion.
+    ep.init_window(cs.vaddr, 1, core::EpochType::kOps);
+    for (int i = 0; i < bucket_depth_ && cs.remaining_posts > 0; ++i) {
+      ep.post_buffer_timing_only(cs.vaddr, cs.ch.bytes);
+      --cs.remaining_posts;
+    }
+    ep.set_completion_observer(cs.vaddr, [this, &cs](void*, std::int64_t) {
+      ++cs.completed;
+      if (cs.remaining_posts > 0) {
+        endpoints_[cs.ch.dst]->post_buffer_timing_only(cs.vaddr, cs.ch.bytes);
+        --cs.remaining_posts;
+      }
+      if (!cs.waiters.empty() && cs.completed > cs.consumed) {
+        ++cs.consumed;
+        auto done = std::move(cs.waiters.front());
+        cs.waiters.pop_front();
+        done();
+      }
+    });
+  }
+  cluster_.engine().schedule(0, std::move(ready));
+}
+
+void RmaTransport::recv_post(int, int, std::uint64_t) {}
+
+void RmaTransport::send(int src, int dst, std::uint64_t tag,
+                        std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  ++stats_.data_messages;
+  endpoints_[src]->put(dst, cs.vaddr, 0, nullptr, cs.ch.bytes,
+                       std::move(done));
+}
+
+void RmaTransport::recv_wait(int dst, int src, std::uint64_t tag,
+                             std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  if (cs.completed > cs.consumed) {
+    ++cs.consumed;
+    cluster_.engine().schedule(0, std::move(done));
+    return;
+  }
+  cs.waiters.push_back(std::move(done));
+}
+
+// ---------------------------------------------------------------- portals
+
+PortalsTransport::PortalsTransport(cluster::Cluster& cluster,
+                                   const core::RvmaParams& params,
+                                   int bucket_depth)
+    : cluster_(cluster), bucket_depth_(bucket_depth) {
+  endpoints_.reserve(cluster.num_nodes());
+  match_lists_.reserve(cluster.num_nodes());
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    endpoints_.push_back(
+        std::make_unique<core::RvmaEndpoint>(cluster.nic(node), params));
+    match_lists_.push_back(std::make_unique<portals::MatchList>());
+  }
+}
+
+PortalsTransport::ChannelState& PortalsTransport::state(int src, int dst,
+                                                        std::uint64_t tag) {
+  const auto it = channels_.find({src, dst, tag});
+  assert(it != channels_.end() && "undeclared channel");
+  return it->second;
+}
+
+void PortalsTransport::setup(const std::vector<motifs::Channel>& channels,
+                             std::function<void()> ready) {
+  obs::Counter& traversed =
+      cluster_.metrics().counter("portals.entries_traversed");
+  obs::Counter& matched = cluster_.metrics().counter("portals.matches");
+  for (const motifs::Channel& ch : channels) {
+    ChannelState cs;
+    cs.ch = ch;
+    cs.vaddr = next_vaddr_++;
+    cs.remaining_posts = ch.count;
+    channels_.emplace(std::make_tuple(ch.src, ch.dst, ch.tag), std::move(cs));
+  }
+  for (auto& [key, cs_ref] : channels_) {
+    ChannelState& cs = cs_ref;
+    core::RvmaEndpoint& ep = *endpoints_[cs.ch.dst];
+    // The posted receive as a persistent match entry: source-qualified,
+    // exact match bits, appended in channel declaration order.
+    match_lists_[cs.ch.dst]->append(portals::MatchEntry{
+        .match_bits = cs.ch.tag,
+        .source = cs.ch.src,
+        .use_once = false,
+    });
+    ep.init_window(cs.vaddr, static_cast<std::int64_t>(cs.ch.bytes),
+                   core::EpochType::kBytes);
+    for (int i = 0; i < bucket_depth_ && cs.remaining_posts > 0; ++i) {
+      ep.post_buffer_timing_only(cs.vaddr, cs.ch.bytes);
+      --cs.remaining_posts;
+    }
+    ep.set_completion_observer(
+        cs.vaddr, [this, &cs, &traversed, &matched](void*, std::int64_t) {
+          // Model the matching unit's list walk for this arrival and
+          // account the entries it touched — the cost a single-lookup
+          // LUT never pays.
+          portals::MatchList& list = *match_lists_[cs.ch.dst];
+          const std::uint64_t before = list.entries_traversed();
+          list.match(cs.ch.src, cs.ch.tag);
+          traversed.inc(list.entries_traversed() - before);
+          matched.inc();
+          ++cs.completed;
+          if (cs.remaining_posts > 0) {
+            endpoints_[cs.ch.dst]->post_buffer_timing_only(cs.vaddr,
+                                                           cs.ch.bytes);
+            --cs.remaining_posts;
+          }
+          if (!cs.waiters.empty() && cs.completed > cs.consumed) {
+            ++cs.consumed;
+            auto done = std::move(cs.waiters.front());
+            cs.waiters.pop_front();
+            done();
+          }
+        });
+  }
+  cluster_.engine().schedule(0, std::move(ready));
+}
+
+void PortalsTransport::recv_post(int, int, std::uint64_t) {}
+
+void PortalsTransport::send(int src, int dst, std::uint64_t tag,
+                            std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  ++stats_.data_messages;
+  endpoints_[src]->put(dst, cs.vaddr, 0, nullptr, cs.ch.bytes,
+                       std::move(done));
+}
+
+void PortalsTransport::recv_wait(int dst, int src, std::uint64_t tag,
+                                 std::function<void()> done) {
+  ChannelState& cs = state(src, dst, tag);
+  if (cs.completed > cs.consumed) {
+    ++cs.consumed;
+    cluster_.engine().schedule(0, std::move(done));
+    return;
+  }
+  cs.waiters.push_back(std::move(done));
+}
+
+// --------------------------------------------------------- registration
+
+void register_builtin_transports(Registry<TransportEntry>& reg) {
+  reg.add("rvma",
+          {"RVMA mailboxes: byte-threshold windows, no handshakes",
+           [](cluster::Cluster& cluster, const ScenarioSpec&) {
+             return std::unique_ptr<motifs::Transport>(
+                 std::make_unique<motifs::RvmaTransport>(cluster,
+                                                         core::RvmaParams{}));
+           }});
+  reg.add("rdma",
+          {"RDMA baseline: buffer negotiation, credits, CQ completions",
+           [](cluster::Cluster& cluster, const ScenarioSpec& spec) {
+             net::Routing routing = net::Routing::kStatic;
+             parse_routing(spec.routing, &routing);
+             return std::unique_ptr<motifs::Transport>(
+                 std::make_unique<motifs::RdmaTransport>(
+                     cluster, rdma::RdmaParams{},
+                     routing == net::Routing::kStatic, spec.rdma_slots));
+           }});
+  reg.add("sockets",
+          {"stream sockets over receiver-managed RVMA mailboxes",
+           [](cluster::Cluster& cluster, const ScenarioSpec&) {
+             return std::unique_ptr<motifs::Transport>(
+                 std::make_unique<SocketsTransport>(cluster,
+                                                    sockets::SocketParams{}));
+           }});
+  reg.add("rma",
+          {"op-counted RVMA epochs: one operation completes a message",
+           [](cluster::Cluster& cluster, const ScenarioSpec&) {
+             return std::unique_ptr<motifs::Transport>(
+                 std::make_unique<RmaTransport>(cluster, core::RvmaParams{}));
+           }});
+  reg.add("portals",
+          {"RVMA wire with Portals-style match-list receive resolution",
+           [](cluster::Cluster& cluster, const ScenarioSpec&) {
+             return std::unique_ptr<motifs::Transport>(
+                 std::make_unique<PortalsTransport>(cluster,
+                                                    core::RvmaParams{}));
+           }});
+}
+
+}  // namespace rvma::scenario

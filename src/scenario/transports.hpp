@@ -1,0 +1,147 @@
+// Scenario transport adapters beyond the rvma/rdma motif transports:
+// sockets (receiver-managed stream middleware), rma (op-counted epochs),
+// and portals (list matching on the receive path). Each implements the
+// motifs::Transport interface so any registered motif runs over any
+// registered backend.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "core/endpoint.hpp"
+#include "motifs/transport.hpp"
+#include "cluster/cluster.hpp"
+#include "portals/match_list.hpp"
+#include "sockets/socket_stack.hpp"
+
+namespace rvma::scenario {
+
+/// Messages as stream writes over the sockets middleware (paper §IV-B):
+/// one connection per channel, send() is a fire-and-forget stream write,
+/// recv_wait() consumes exactly one message's bytes off the stream. No
+/// per-message coordination — but also no message boundaries, so the
+/// receiver counts bytes.
+class SocketsTransport final : public motifs::Transport {
+ public:
+  SocketsTransport(cluster::Cluster& cluster,
+                   const sockets::SocketParams& params);
+
+  std::string name() const override { return "sockets"; }
+  void setup(const std::vector<motifs::Channel>& channels,
+             std::function<void()> ready) override;
+  void recv_post(int dst, int src, std::uint64_t tag) override;
+  void send(int src, int dst, std::uint64_t tag,
+            std::function<void()> done) override;
+  void recv_wait(int dst, int src, std::uint64_t tag,
+                 std::function<void()> done) override;
+  const motifs::TransportStats& stats() const override { return stats_; }
+
+  sockets::SocketStack& stack(int node) { return *stacks_[node]; }
+
+ private:
+  struct ChannelState {
+    motifs::Channel ch;
+    sockets::ConnId send_conn = 0;  ///< valid on the src node's stack
+    sockets::ConnId recv_conn = 0;  ///< valid on the dst node's stack
+    /// Bytes of the message currently being drained by recv_wait.
+    std::uint64_t draining = 0;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  ChannelState& state(int src, int dst, std::uint64_t tag);
+  void drain(ChannelState& cs);
+
+  cluster::Cluster& cluster_;
+  std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<sockets::SocketStack>> stacks_;
+  std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
+  std::vector<std::byte> scratch_;  ///< zero payload for timing sends
+  motifs::TransportStats stats_;
+};
+
+/// Op-counted mailboxes (paper §IV-E flavor): each channel's window uses
+/// an operations threshold of one, so a message completes when its put
+/// has fully arrived regardless of length — the RMA epoch primitive the
+/// fence machinery in src/rma builds on, here exposed as a transport.
+class RmaTransport final : public motifs::Transport {
+ public:
+  RmaTransport(cluster::Cluster& cluster, const core::RvmaParams& params,
+               int bucket_depth = 16);
+
+  std::string name() const override { return "rma"; }
+  void setup(const std::vector<motifs::Channel>& channels,
+             std::function<void()> ready) override;
+  void recv_post(int dst, int src, std::uint64_t tag) override;
+  void send(int src, int dst, std::uint64_t tag,
+            std::function<void()> done) override;
+  void recv_wait(int dst, int src, std::uint64_t tag,
+                 std::function<void()> done) override;
+  const motifs::TransportStats& stats() const override { return stats_; }
+
+ private:
+  struct ChannelState {
+    motifs::Channel ch;
+    std::uint64_t vaddr = 0;
+    int remaining_posts = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t consumed = 0;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  ChannelState& state(int src, int dst, std::uint64_t tag);
+
+  cluster::Cluster& cluster_;
+  int bucket_depth_;
+  std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
+  std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
+  motifs::TransportStats stats_;
+  std::uint64_t next_vaddr_ = 0x33AA0000;  // rma mailbox namespace
+};
+
+/// RVMA wire with Portals-style receive-side resolution: every channel's
+/// posted receive is a match-list entry, and each completed message walks
+/// the node's posted-order list (paper §II / §IV-A). The walk changes no
+/// timing here — it quantifies the matching work RVMA's single-lookup
+/// LUT avoids, surfaced via the portals.match_* registry counters.
+class PortalsTransport final : public motifs::Transport {
+ public:
+  PortalsTransport(cluster::Cluster& cluster, const core::RvmaParams& params,
+                   int bucket_depth = 16);
+
+  std::string name() const override { return "portals"; }
+  void setup(const std::vector<motifs::Channel>& channels,
+             std::function<void()> ready) override;
+  void recv_post(int dst, int src, std::uint64_t tag) override;
+  void send(int src, int dst, std::uint64_t tag,
+            std::function<void()> done) override;
+  void recv_wait(int dst, int src, std::uint64_t tag,
+                 std::function<void()> done) override;
+  const motifs::TransportStats& stats() const override { return stats_; }
+
+  const portals::MatchList& match_list(int node) const {
+    return *match_lists_[node];
+  }
+
+ private:
+  struct ChannelState {
+    motifs::Channel ch;
+    std::uint64_t vaddr = 0;
+    int remaining_posts = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t consumed = 0;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  ChannelState& state(int src, int dst, std::uint64_t tag);
+
+  cluster::Cluster& cluster_;
+  int bucket_depth_;
+  std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<portals::MatchList>> match_lists_;
+  std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
+  motifs::TransportStats stats_;
+  std::uint64_t next_vaddr_ = 0x44BB0000;  // portals mailbox namespace
+};
+
+}  // namespace rvma::scenario

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 #include "core/rvma_c_api.h"
 
@@ -29,7 +30,7 @@ class CApiTest : public ::testing::Test {
 
   void TearDown() override { RVMA_Set_endpoint(nullptr); }
 
-  rvma::nic::Cluster cluster_;
+  rvma::cluster::Cluster cluster_;
   RvmaEndpoint sender_;
   RvmaEndpoint receiver_;
 };

@@ -3,6 +3,7 @@
 // collective patterns.
 #include <gtest/gtest.h>
 
+#include "cluster/cluster.hpp"
 #include "motifs/collectives.hpp"
 #include "motifs/rdma_transport.hpp"
 #include "motifs/rvma_transport.hpp"
@@ -134,13 +135,13 @@ TEST_P(CollectiveExecutionTest, RunsAndRvmaWins) {
 
   Time rvma_time = 0, rdma_time = 0;
   {
-    nic::Cluster cluster(fattree(ranks, net::Routing::kAdaptive),
+    cluster::Cluster cluster(fattree(ranks, net::Routing::kAdaptive),
                          nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     rvma_time = MotifRunner(cluster, transport, programs).run().makespan;
   }
   {
-    nic::Cluster cluster(fattree(ranks, net::Routing::kAdaptive),
+    cluster::Cluster cluster(fattree(ranks, net::Routing::kAdaptive),
                          nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{},
                             /*ordered_network=*/false);

@@ -210,5 +210,99 @@ TEST(Cli, DoubleAndBool) {
   EXPECT_FALSE(cli.get_bool("off", true));
 }
 
+TEST(UnitParse, Duration) {
+  Time t = 0;
+  EXPECT_TRUE(parse_duration("2.5us", &t));
+  EXPECT_EQ(t, 2'500'000u);
+  EXPECT_TRUE(parse_duration("150 ns", &t));
+  EXPECT_EQ(t, 150'000u);
+  EXPECT_TRUE(parse_duration("1ms", &t));
+  EXPECT_EQ(t, kMillisecond);
+  EXPECT_TRUE(parse_duration("1500ps", &t));
+  EXPECT_EQ(t, 1500u);
+  EXPECT_TRUE(parse_duration("1500", &t));  // bare picoseconds
+  EXPECT_EQ(t, 1500u);
+  EXPECT_TRUE(parse_duration("0s", &t));
+  EXPECT_EQ(t, 0u);
+  EXPECT_TRUE(parse_duration("inf", &t));
+  EXPECT_EQ(t, kTimeInfinity);
+  // Malformed / inexact inputs: rejected, *out untouched.
+  t = 42;
+  EXPECT_FALSE(parse_duration("", &t));
+  EXPECT_FALSE(parse_duration("ns", &t));
+  EXPECT_FALSE(parse_duration("1.5ps", &t));  // fractional picosecond
+  EXPECT_FALSE(parse_duration("10 parsecs", &t));
+  EXPECT_EQ(t, 42u);
+}
+
+TEST(UnitParse, Size) {
+  std::uint64_t s = 0;
+  EXPECT_TRUE(parse_size("64KiB", &s));
+  EXPECT_EQ(s, 64 * KiB);
+  EXPECT_TRUE(parse_size("4 MiB", &s));
+  EXPECT_EQ(s, 4 * MiB);
+  EXPECT_TRUE(parse_size("2GiB", &s));
+  EXPECT_EQ(s, 2 * GiB);
+  EXPECT_TRUE(parse_size("4096", &s));
+  EXPECT_EQ(s, 4096u);
+  EXPECT_TRUE(parse_size("512B", &s));
+  EXPECT_EQ(s, 512u);
+  s = 7;
+  EXPECT_FALSE(parse_size("-1B", &s));
+  EXPECT_FALSE(parse_size("1.5B", &s));
+  EXPECT_FALSE(parse_size("64KB", &s));  // only binary prefixes
+  EXPECT_EQ(s, 7u);
+}
+
+TEST(UnitParse, Bandwidth) {
+  Bandwidth bw;
+  EXPECT_TRUE(parse_bandwidth("100Gbps", &bw));
+  EXPECT_EQ(bw, Bandwidth::gbps(100));
+  EXPECT_TRUE(parse_bandwidth("2Tbps", &bw));
+  EXPECT_EQ(bw, Bandwidth::gbps(2000));
+  EXPECT_TRUE(parse_bandwidth("800 Mbps", &bw));
+  EXPECT_DOUBLE_EQ(bw.bits_per_sec, 800e6);
+  EXPECT_TRUE(parse_bandwidth("125000bps", &bw));
+  EXPECT_DOUBLE_EQ(bw.bits_per_sec, 125000.0);
+  EXPECT_TRUE(parse_bandwidth("100", &bw));  // bare number = bits/sec
+  EXPECT_DOUBLE_EQ(bw.bits_per_sec, 100.0);
+  EXPECT_FALSE(parse_bandwidth("fast", &bw));
+  EXPECT_FALSE(parse_bandwidth("100 knots", &bw));
+}
+
+TEST(UnitParse, CanonicalRoundTrip) {
+  // canonical -> parse -> canonical is the identity: this is what keeps
+  // scenario-spec JSON byte-stable across load/save cycles.
+  const Time times[] = {0,         1,          999,           1500,
+                        150'000,   2'500'000,  kMillisecond,  3 * kSecond,
+                        kTimeInfinity};
+  for (Time t : times) {
+    const std::string s = canonical_duration(t);
+    Time back = ~t;
+    ASSERT_TRUE(parse_duration(s, &back)) << s;
+    EXPECT_EQ(back, t) << s;
+    EXPECT_EQ(canonical_duration(back), s);
+  }
+  const std::uint64_t sizes[] = {0, 1, 512, 4096, 64 * KiB, 4 * MiB + 1,
+                                 2 * GiB};
+  for (std::uint64_t z : sizes) {
+    const std::string s = canonical_size(z);
+    std::uint64_t back = ~z;
+    ASSERT_TRUE(parse_size(s, &back)) << s;
+    EXPECT_EQ(back, z) << s;
+    EXPECT_EQ(canonical_size(back), s);
+  }
+  const Bandwidth bws[] = {Bandwidth::gbps(100), Bandwidth::gbps(2000),
+                           Bandwidth::gbps(0.5), Bandwidth(125000.0),
+                           Bandwidth(1.5)};
+  for (Bandwidth bw : bws) {
+    const std::string s = canonical_bandwidth(bw);
+    Bandwidth back;
+    ASSERT_TRUE(parse_bandwidth(s, &back)) << s;
+    EXPECT_EQ(back, bw) << s;
+    EXPECT_EQ(canonical_bandwidth(back), s);
+  }
+}
+
 }  // namespace
 }  // namespace rvma

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 
 namespace rvma::core {
@@ -27,7 +28,7 @@ class FeatureTest : public ::testing::Test {
 
   void run() { cluster_.engine().run(); }
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   RvmaEndpoint sender_;
   RvmaEndpoint receiver_;
 };
@@ -69,7 +70,7 @@ TEST_F(FeatureTest, UnkeyedWindowAcceptsAnything) {
 TEST_F(FeatureTest, KeyEnforcementCanBeDisabled) {
   RvmaParams params;
   params.enforce_keys = false;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
   receiver.init_window(0x1, 64, EpochType::kBytes, Placement::kSteered, 0x77);
@@ -165,7 +166,7 @@ TEST_F(FeatureTest, PutOwnedSurvivesSenderBufferReuse) {
 TEST_F(FeatureTest, FreeWindowReleasesCounterAndLutEntry) {
   RvmaParams params;
   params.nic_counters = 1;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
 
@@ -188,7 +189,7 @@ TEST_F(FeatureTest, FreeWindowReleasesCounterAndLutEntry) {
 TEST_F(FeatureTest, TxQueueLimitStallsButDelivers) {
   nic::NicParams nic_params;
   nic_params.tx_queue_limit = 500 * kNanosecond;  // tiny: ~6 KiB at 100 Gbps
-  nic::Cluster cluster(star2(), nic_params);
+  cluster::Cluster cluster(star2(), nic_params);
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint receiver(cluster.nic(1), RvmaParams{});
   receiver.init_window(0x1, 1, EpochType::kOps);
@@ -245,7 +246,7 @@ TEST_F(FeatureTest, FailureMidTransferLeavesPartialEpoch) {
   // buffer stays incomplete and rewind recovers the previous epoch.
   nic::NicParams nic_params;
   nic_params.mtu = 1024;
-  nic::Cluster cluster(star2(), nic_params);
+  cluster::Cluster cluster(star2(), nic_params);
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint receiver(cluster.nic(1), RvmaParams{});
 

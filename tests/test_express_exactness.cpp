@@ -15,11 +15,11 @@
 #include <vector>
 
 #include "common/trace.hpp"
-#include "motifs/figure_bench.hpp"
-#include "motifs/halo3d.hpp"
 #include "net/topology.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 #include "obs/metrics_io.hpp"
+#include "scenario/figure_grid.hpp"
+#include "scenario/spec.hpp"
 
 namespace rvma {
 namespace {
@@ -60,7 +60,7 @@ ContentionResult run_contention(bool express, Tracer* sink) {
   cfg.routing = net::Routing::kStatic;
   cfg.nodes_hint = 8;
   cfg.express = express;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   if (sink != nullptr) cluster.engine().set_tracer(sink);
   const int n = cluster.num_nodes();
 
@@ -150,23 +150,22 @@ TEST(ExpressExactness, ContentionTraceByteIdentical) {
   std::remove(path_slow.c_str());
 }
 
-motifs::MotifBenchConfig mini_bench() {
-  motifs::MotifBenchConfig bench;
-  bench.figure = "test";
-  bench.motif = "Halo3D";
-  bench.nodes = 8;
-  bench.gbps = {100, 400};
-  bench.build = [](int nodes) {
-    motifs::Halo3DConfig cfg;
-    cfg.px = cfg.py = 2;
-    cfg.pz = nodes / 4;
-    cfg.nx = cfg.ny = cfg.nz = 8;
-    cfg.vars = 2;
-    cfg.iterations = 2;
-    cfg.compute_per_cell = 50 * kPicosecond;
-    return build_halo3d(cfg);
-  };
-  return bench;
+scenario::GridSpec mini_grid() {
+  scenario::GridSpec grid;
+  grid.figure = "test";
+  grid.motif_label = "Halo3D";
+  grid.base.nodes = 8;
+  grid.base.motif = "halo3d";
+  grid.base.motif_params = {{"px", "2"},  {"py", "2"},
+                            {"pz", "2"},  {"nx", "8"},
+                            {"ny", "8"},  {"nz", "8"},
+                            {"vars", "2"}, {"iterations", "2"},
+                            {"compute_per_cell", "50ps"}};
+  grid.gbps = {100, 400};
+  // First three grid rows cover torus + fat-tree and static + adaptive
+  // routing while keeping the test fast.
+  grid.cases = {"torus3d-static", "torus3d-adaptive", "fattree-static"};
+  return grid;
 }
 
 /// The metrics JSON minus the engine event-count lines — the one
@@ -182,22 +181,19 @@ std::string filter_engine_events(const std::string& json) {
 }
 
 TEST(ExpressExactness, Fig8MiniGridJsonIdenticalAcrossModesAndJobs) {
-  const motifs::MotifBenchConfig bench_fast = mini_bench();
-  motifs::MotifBenchConfig bench_slow = mini_bench();
-  bench_slow.express = false;
-  // First three grid rows cover torus + fat-tree and static + adaptive
-  // routing while keeping the test fast; sampling stays off — sampled
-  // gauge timeseries may observe express's eager port charges (DESIGN.md
-  // §8), and the document must be identical without that caveat.
-  std::vector<motifs::TopoCase> cases(motifs::figure_topo_cases().begin(),
-                                      motifs::figure_topo_cases().begin() + 3);
+  const scenario::GridSpec grid_fast = mini_grid();
+  scenario::GridSpec grid_slow = mini_grid();
+  grid_slow.base.express = false;
+  // Sampling stays off — sampled gauge timeseries may observe express's
+  // eager port charges (DESIGN.md §8), and the document must be identical
+  // without that caveat.
 
-  const std::vector<motifs::MotifCell> fast =
-      run_motif_grid(bench_fast, cases, 1);
-  const std::vector<motifs::MotifCell> slow_serial =
-      run_motif_grid(bench_slow, cases, 1);
-  const std::vector<motifs::MotifCell> slow_parallel =
-      run_motif_grid(bench_slow, cases, 4);
+  std::vector<scenario::GridCell> fast, slow_serial, slow_parallel;
+  std::string error;
+  ASSERT_TRUE(scenario::run_grid(grid_fast, 1, &fast, &error)) << error;
+  ASSERT_TRUE(scenario::run_grid(grid_slow, 1, &slow_serial, &error)) << error;
+  ASSERT_TRUE(scenario::run_grid(grid_slow, 4, &slow_parallel, &error))
+      << error;
 
   ASSERT_EQ(fast.size(), slow_serial.size());
   for (std::size_t i = 0; i < fast.size(); ++i) {
@@ -224,11 +220,11 @@ TEST(ExpressExactness, Fig8MiniGridJsonIdenticalAcrossModesAndJobs) {
   const std::string path_slow = dir + "express_grid_slow.json";
   const std::string path_slow4 = dir + "express_grid_slow4.json";
   ASSERT_TRUE(obs::write_metrics_file(
-      build_motif_metrics_doc(bench_fast, cases, fast), path_fast));
+      scenario::build_grid_metrics_doc(grid_fast, fast), path_fast));
   ASSERT_TRUE(obs::write_metrics_file(
-      build_motif_metrics_doc(bench_slow, cases, slow_serial), path_slow));
+      scenario::build_grid_metrics_doc(grid_slow, slow_serial), path_slow));
   ASSERT_TRUE(obs::write_metrics_file(
-      build_motif_metrics_doc(bench_slow, cases, slow_parallel), path_slow4));
+      scenario::build_grid_metrics_doc(grid_slow, slow_parallel), path_slow4));
 
   const std::string slow_bytes = read_file(path_slow);
   EXPECT_EQ(slow_bytes, read_file(path_slow4));  // byte-identical across jobs

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 
 namespace rvma::core {
@@ -27,7 +28,7 @@ class FaultToleranceTest : public ::testing::Test {
 
   void run() { cluster_.engine().run(); }
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   RvmaEndpoint sender_;
   RvmaEndpoint receiver_;
 };
@@ -93,7 +94,7 @@ TEST_F(FaultToleranceTest, RewindDepthWalksEpochHistory) {
 TEST_F(FaultToleranceTest, RewindBeyondRetireDepthFails) {
   RvmaParams params;
   params.retire_depth = 2;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "rma/rma_window.hpp"
 #include "sockets/socket_stack.hpp"
@@ -33,7 +34,7 @@ class SocketsStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SocketsStreamFuzz, StreamIntegrity) {
   Rng rng(GetParam() * 7919);
-  nic::Cluster cluster(star(2), nic::NicParams{});
+  cluster::Cluster cluster(star(2), nic::NicParams{});
   RvmaEndpoint client_ep(cluster.nic(0), RvmaParams{});
   RvmaEndpoint server_ep(cluster.nic(1), RvmaParams{});
   sockets::SocketParams params;
@@ -94,7 +95,7 @@ TEST_P(RmaFenceFuzz, WindowsMatchShadowModel) {
   constexpr std::uint64_t kSize = 2048;
   constexpr std::uint64_t kSlot = 64;  // puts are slot-aligned: no overlap
 
-  nic::Cluster cluster(star(kRanks), nic::NicParams{});
+  cluster::Cluster cluster(star(kRanks), nic::NicParams{});
   std::vector<std::unique_ptr<RvmaEndpoint>> eps;
   std::vector<RvmaEndpoint*> raw;
   for (int r = 0; r < kRanks; ++r) {
@@ -154,7 +155,7 @@ class ManagedSplitFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ManagedSplitFuzz, ReassemblyMatches) {
   Rng rng(GetParam() * 31337);
-  nic::Cluster cluster(star(2), nic::NicParams{});
+  cluster::Cluster cluster(star(2), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint receiver(cluster.nic(1), RvmaParams{});
 

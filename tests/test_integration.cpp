@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 #include "rdma/rdma.hpp"
 
@@ -30,7 +31,7 @@ TEST(Integration, RingExchangeOnAdaptiveDragonfly) {
   cfg.seed = 42;
   nic::NicParams nic_params;
   nic_params.mtu = 1024;
-  nic::Cluster cluster(cfg, nic_params);
+  cluster::Cluster cluster(cfg, nic_params);
   const int n = cluster.num_nodes();
   ASSERT_EQ(n, 72);
 
@@ -66,7 +67,7 @@ TEST(Integration, RdmaAndRvmaCoexistOnOneNic) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
 
   rdma::RdmaEndpoint rdma0(cluster.nic(0), rdma::RdmaParams{});
   rdma::RdmaEndpoint rdma1(cluster.nic(1), rdma::RdmaParams{});
@@ -111,7 +112,7 @@ TEST(Integration, ManyToOneBucketSeparation) {
   cfg.topology = net::TopologyKind::kFatTree;
   cfg.fat_k = 4;  // 16 nodes
   cfg.routing = net::Routing::kAdaptive;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   const int n = cluster.num_nodes();
 
   constexpr std::uint64_t kRecord = 512;
@@ -155,7 +156,7 @@ TEST(Integration, PipelinedEpochStream) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint receiver(cluster.nic(1), RvmaParams{});
 

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/endpoint.hpp"
@@ -85,7 +86,7 @@ TEST(MiscEndpoint, ReinitExistingWindowKeepsState) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   core::RvmaEndpoint sender(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint receiver(cluster.nic(1), core::RvmaParams{});
 
@@ -107,7 +108,7 @@ TEST(MiscEndpoint, ZeroByteOpsPutCountsAsOperation) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   core::RvmaEndpoint sender(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint receiver(cluster.nic(1), core::RvmaParams{});
 
@@ -124,7 +125,7 @@ TEST(MiscEndpoint, CatchAllDoesNotShadowRealMailboxes) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   core::RvmaEndpoint sender(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint receiver(cluster.nic(1), core::RvmaParams{});
 

@@ -5,6 +5,7 @@
 
 #include <map>
 
+#include "cluster/cluster.hpp"
 #include "motifs/halo3d.hpp"
 #include "motifs/incast.hpp"
 #include "motifs/rdma_transport.hpp"
@@ -160,7 +161,7 @@ TEST_P(MotifExecutionTest, Halo3DRunsOnBothTransportsRvmaWins) {
   const net::Routing routing = GetParam().routing;
   Time rvma_time = 0, rdma_time = 0;
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
+    cluster::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     MotifRunner runner(cluster, transport, build_halo3d(cfg));
     const MotifResult result = runner.run();
@@ -170,7 +171,7 @@ TEST_P(MotifExecutionTest, Halo3DRunsOnBothTransportsRvmaWins) {
     EXPECT_EQ(result.transport.control_messages, 0u);
   }
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
+    cluster::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{},
                             routing == net::Routing::kStatic);
     MotifRunner runner(cluster, transport, build_halo3d(cfg));
@@ -194,13 +195,13 @@ TEST_P(MotifExecutionTest, Sweep3DRunsOnBothTransportsRvmaWins) {
   const net::Routing routing = GetParam().routing;
   Time rvma_time = 0, rdma_time = 0;
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
+    cluster::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     MotifRunner runner(cluster, transport, build_sweep3d(cfg));
     rvma_time = runner.run().makespan;
   }
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
+    cluster::Cluster cluster(torus_config(cfg.ranks(), routing), nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{},
                             routing == net::Routing::kStatic);
     MotifRunner runner(cluster, transport, build_sweep3d(cfg));
@@ -221,7 +222,7 @@ TEST(MotifExecution, IncastCompletesAllMessages) {
   IncastConfig cfg;
   cfg.clients = 7;
   cfg.messages_per_client = 4;
-  nic::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kAdaptive),
+  cluster::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kAdaptive),
                        nic::NicParams{});
   RvmaTransport transport(cluster, core::RvmaParams{});
   MotifRunner runner(cluster, transport, build_incast(cfg));
@@ -237,7 +238,7 @@ TEST(MotifExecution, RdmaSlotsReduceCreditStalls) {
   cfg.messages_per_client = 6;
   std::uint64_t stalls_one_slot = 0, stalls_four_slots = 0;
   for (int slots : {1, 4}) {
-    nic::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
+    cluster::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
                          nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{}, true, slots);
     MotifRunner runner(cluster, transport, build_incast(cfg));
@@ -255,14 +256,14 @@ TEST(MotifExecution, SetupTimeIsZeroForRvmaPositiveForRdma) {
   cfg.pz = 1;
   cfg.iterations = 1;
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
+    cluster::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
                          nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     MotifRunner runner(cluster, transport, build_halo3d(cfg));
     EXPECT_EQ(runner.run().setup_done, 0u);  // no handshakes
   }
   {
-    nic::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
+    cluster::Cluster cluster(torus_config(cfg.ranks(), net::Routing::kStatic),
                          nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{}, true);
     MotifRunner runner(cluster, transport, build_halo3d(cfg));

@@ -5,7 +5,7 @@
 #include <cstring>
 #include <vector>
 
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 
 namespace rvma::nic {
 namespace {
@@ -23,7 +23,7 @@ net::NetworkConfig star(int nodes) {
 class NicTest : public ::testing::Test {
  protected:
   NicTest() : cluster_(star(2), NicParams{}) {}
-  Cluster cluster_;
+  cluster::Cluster cluster_;
 };
 
 TEST_F(NicTest, SegmentsIntoMtuPackets) {
@@ -101,7 +101,7 @@ TEST_F(NicTest, TxQueueStallsAndDrainsUnderTightAdmission) {
   // still reach the receiver in order.
   NicParams params;
   params.tx_queue_limit = Bandwidth::gbps(100).serialize(4096);
-  Cluster cluster(star(2), params);
+  cluster::Cluster cluster(star(2), params);
   std::vector<std::uint32_t> arrival_order;
   cluster.nic(1).register_proto(kProtoRdma, [&](const net::Packet& pkt) {
     if (pkt.seq + 1 == pkt.total) {
@@ -194,7 +194,7 @@ TEST_F(NicTest, PayloadSlicesMatchOffsets) {
 }
 
 TEST(ClusterTest, BuildsNicPerNode) {
-  Cluster cluster(star(5), NicParams{});
+  cluster::Cluster cluster(star(5), NicParams{});
   EXPECT_EQ(cluster.num_nodes(), 5);
   for (int n = 0; n < 5; ++n) {
     EXPECT_EQ(cluster.nic(n).node(), n);
@@ -204,7 +204,7 @@ TEST(ClusterTest, BuildsNicPerNode) {
 TEST(ClusterTest, CustomMtu) {
   NicParams params;
   params.mtu = 256;
-  Cluster cluster(star(2), params);
+  cluster::Cluster cluster(star(2), params);
   int packets = 0;
   cluster.nic(1).register_proto(kProtoRdma,
                                 [&](const net::Packet&) { ++packets; });

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 #include "rdma/rdma.hpp"
 
@@ -25,7 +26,7 @@ net::NetworkConfig star2() {
 }
 
 TEST(PidAddressing, TwoRvmaProcessesShareOneNic) {
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint proc_a(cluster.nic(1), RvmaParams{}, /*pid=*/1);
   RvmaEndpoint proc_b(cluster.nic(1), RvmaParams{}, /*pid=*/2);
@@ -52,7 +53,7 @@ TEST(PidAddressing, TwoRvmaProcessesShareOneNic) {
 }
 
 TEST(PidAddressing, NackRoutesBackToOriginProcess) {
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint proc_x(cluster.nic(0), RvmaParams{}, /*pid=*/5);
   RvmaEndpoint proc_y(cluster.nic(0), RvmaParams{}, /*pid=*/6);
   RvmaEndpoint target(cluster.nic(1), RvmaParams{});
@@ -67,7 +68,7 @@ TEST(PidAddressing, NackRoutesBackToOriginProcess) {
 }
 
 TEST(PidAddressing, GetRepliesToRequestingProcess) {
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint requester(cluster.nic(0), RvmaParams{}, /*pid=*/3);
   RvmaEndpoint other(cluster.nic(0), RvmaParams{}, /*pid=*/4);
   RvmaEndpoint target(cluster.nic(1), RvmaParams{}, /*pid=*/7);
@@ -89,7 +90,7 @@ TEST(PidAddressing, GetRepliesToRequestingProcess) {
 }
 
 TEST(PidAddressing, RdmaHandshakeCarriesPid) {
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   rdma::RdmaEndpoint initiator(cluster.nic(0), rdma::RdmaParams{}, /*pid=*/9);
   rdma::RdmaEndpoint server(cluster.nic(1), rdma::RdmaParams{}, /*pid=*/11);
   server.serve_buffer_requests(
@@ -114,7 +115,7 @@ TEST(PidAddressing, RdmaHandshakeCarriesPid) {
 }
 
 TEST(PidAddressing, RvmaAndRdmaProcessesAllCoexist) {
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   // Four endpoints on node 1: two protocols x two processes.
   RvmaEndpoint rvma_p0(cluster.nic(1), RvmaParams{}, 0);
   RvmaEndpoint rvma_p1(cluster.nic(1), RvmaParams{}, 1);

@@ -10,7 +10,7 @@
 #include "common/rng.hpp"
 #include "core/endpoint.hpp"
 #include "net/topology.hpp"
-#include "nic/nic.hpp"
+#include "cluster/cluster.hpp"
 
 namespace rvma {
 namespace {
@@ -37,7 +37,7 @@ TEST_P(RandomCoverageTest, OutOfOrderCoverageCompletesIntact) {
   cfg.seed = GetParam();
   nic::NicParams nic_params;
   nic_params.mtu = 512;  // force multi-packet puts
-  nic::Cluster cluster(cfg, nic_params);
+  cluster::Cluster cluster(cfg, nic_params);
 
   RvmaEndpoint sender(cluster.nic(0), RvmaParams{});
   RvmaEndpoint receiver(cluster.nic(8), RvmaParams{});  // far corner
@@ -97,7 +97,7 @@ TEST_P(SegmentationTest, ExactPartition) {
   cfg.nodes_hint = 2;
   nic::NicParams params;
   params.mtu = static_cast<std::uint32_t>(64 + rng.next_below(8192));
-  nic::Cluster cluster(cfg, params);
+  cluster::Cluster cluster(cfg, params);
 
   const std::uint64_t bytes = rng.next_below(100 * KiB) + 1;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
@@ -142,7 +142,7 @@ TEST_P(DeliveryFuzzTest, EveryMessageDeliveredExactlyOnce) {
   cfg.routing = fc.routing;
   cfg.nodes_hint = 60;
   cfg.seed = fc.seed;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   const int n = cluster.num_nodes();
 
   // One catch-all RVMA endpoint per node counts arriving puts.
@@ -195,7 +195,7 @@ TEST_P(EpochInvariantTest, EpochEqualsCompletions) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   RvmaParams params;
   params.retire_depth = 3;
   RvmaEndpoint sender(cluster.nic(0), params);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "rdma/rdma.hpp"
 
 namespace rvma::rdma {
@@ -29,7 +30,7 @@ class RdmaTest : public ::testing::Test {
         initiator_(cluster_.nic(0), RdmaParams{}),
         target_(cluster_.nic(1), RdmaParams{}) {}
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   RdmaEndpoint initiator_;
   RdmaEndpoint target_;
 };
@@ -259,7 +260,7 @@ TEST(RdmaAdaptive, LastBytePollFiresPrematurely) {
   cfg.seed = 5;
   nic::NicParams nic_params;
   nic_params.mtu = 1024;
-  nic::Cluster cluster(cfg, nic_params);
+  cluster::Cluster cluster(cfg, nic_params);
 
   RdmaEndpoint initiator(cluster.nic(0), RdmaParams{});
   RdmaEndpoint target(cluster.nic(15), RdmaParams{});

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "rma/rma_window.hpp"
 
 namespace rvma::rma {
@@ -45,7 +46,7 @@ class RmaTest : public ::testing::Test {
     return done;
   }
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   std::vector<std::unique_ptr<RvmaEndpoint>> eps_;
   std::vector<RvmaEndpoint*> raw_;
   std::unique_ptr<RmaWindow> window_;
@@ -198,7 +199,7 @@ TEST(RmaSingleRank, FenceTriviallyCompletes) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   RvmaEndpoint ep(cluster.nic(0), RvmaParams{});
   RmaWindow window({&ep}, 0x9000, RmaWindow::Config{1024, 2, true});
   int done = 0;
@@ -219,7 +220,7 @@ TEST(RmaAdaptive, FenceCorrectUnderAdaptiveRouting) {
   cfg.df_h = 2;
   nic::NicParams nic_params;
   nic_params.mtu = 512;
-  nic::Cluster cluster(cfg, nic_params);
+  cluster::Cluster cluster(cfg, nic_params);
 
   constexpr int kRanks = 8;
   std::vector<std::unique_ptr<RvmaEndpoint>> eps;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "core/endpoint.hpp"
 
 namespace rvma::core {
@@ -32,7 +33,7 @@ class RvmaTest : public ::testing::Test {
 
   void run() { cluster_.engine().run(); }
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   RvmaEndpoint sender_;
   RvmaEndpoint receiver_;
 };
@@ -198,7 +199,7 @@ TEST_F(RvmaTest, UnknownMailboxNacks) {
 TEST_F(RvmaTest, NacksCanBeDisabled) {
   RvmaParams params;
   params.nacks_enabled = false;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
   int nacks = 0;
@@ -293,7 +294,7 @@ TEST_F(RvmaTest, GetEpochAndBufPtrs) {
 TEST_F(RvmaTest, CounterSpillFallsBackToHostMemory) {
   RvmaParams params;
   params.nic_counters = 1;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
 
@@ -313,7 +314,7 @@ TEST_F(RvmaTest, CounterSpillFallsBackToHostMemory) {
 TEST_F(RvmaTest, CounterReleasedOnCompletionIsReused) {
   RvmaParams params;
   params.nic_counters = 1;
-  nic::Cluster cluster(star2(), nic::NicParams{});
+  cluster::Cluster cluster(star2(), nic::NicParams{});
   RvmaEndpoint sender(cluster.nic(0), params);
   RvmaEndpoint receiver(cluster.nic(1), params);
 

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <string>
 
+#include "cluster/cluster.hpp"
 #include "common/trace.hpp"
 #include "motifs/halo3d.hpp"
 #include "motifs/rdma_transport.hpp"
@@ -43,7 +44,7 @@ Halo3DConfig halo342() {
 TEST(Scale, Halo3DAt294RanksOnDragonfly342) {
   Time rvma_time = 0, rdma_time = 0;
   {
-    nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+    cluster::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
                          nic::NicParams{});
     ASSERT_EQ(cluster.num_nodes(), 342);
     RvmaTransport transport(cluster, core::RvmaParams{});
@@ -54,7 +55,7 @@ TEST(Scale, Halo3DAt294RanksOnDragonfly342) {
     EXPECT_EQ(result.transport.control_messages, 0u);
   }
   {
-    nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+    cluster::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
                          nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{}, false);
     rdma_time =
@@ -66,7 +67,7 @@ TEST(Scale, Halo3DAt294RanksOnDragonfly342) {
 
 TEST(Determinism, IdenticalConfigsReplayIdentically) {
   auto run_once = [] {
-    nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+    cluster::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
                          nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     Sweep3DConfig cfg;
@@ -92,7 +93,7 @@ TEST(Determinism, GoldenHalo3DStatsPinnedAcrossEngineRewrites) {
   // bit-identically: every timestamp, tie-break, and adaptive routing
   // decision. Any drift here means the hot-path rewrite changed observable
   // simulation behaviour, not just its speed.
-  nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+  cluster::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
                        nic::NicParams{});
   RvmaTransport transport(cluster, core::RvmaParams{});
   const MotifResult result =
@@ -115,7 +116,7 @@ TEST(Determinism, SeedChangesAdaptiveOutcome) {
   auto run_with_seed = [](std::uint64_t seed) {
     net::NetworkConfig cfg = dragonfly342(net::Routing::kAdaptive);
     cfg.seed = seed;
-    nic::Cluster cluster(cfg, nic::NicParams{});
+    cluster::Cluster cluster(cfg, nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     Sweep3DConfig sweep;
     sweep.pex = 8;
@@ -143,7 +144,7 @@ TEST(ControlTraffic, StaticRdmaHasNoCompletionSends) {
     net_cfg.topology = net::TopologyKind::kStar;
     net_cfg.nodes_hint = cfg.ranks();
     net_cfg.routing = ordered ? net::Routing::kStatic : net::Routing::kAdaptive;
-    nic::Cluster cluster(net_cfg, nic::NicParams{});
+    cluster::Cluster cluster(net_cfg, nic::NicParams{});
     RdmaTransport transport(cluster, rdma::RdmaParams{}, ordered);
     return MotifRunner(cluster, transport, build_halo3d(cfg))
         .run()
@@ -160,7 +161,7 @@ TEST(TraceTool, AnalyzesGeneratedTrace) {
   const std::string trace_path = ::testing::TempDir() + "tool_trace.jsonl";
   ASSERT_TRUE(Tracer::global().open(trace_path));
   {
-    nic::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
+    cluster::Cluster cluster(dragonfly342(net::Routing::kAdaptive),
                          nic::NicParams{});
     RvmaTransport transport(cluster, core::RvmaParams{});
     Halo3DConfig cfg;
@@ -171,10 +172,10 @@ TEST(TraceTool, AnalyzesGeneratedTrace) {
   }
   Tracer::global().close();
 
-  // Run the offline analyzer on the trace and check its report.
+  // Run the offline analyzer (`rvma_metrics trace`) and check its report.
   const std::string out_path = ::testing::TempDir() + "tool_out.txt";
-  const std::string cmd =
-      std::string(TRACE_STATS_BIN) + " " + trace_path + " > " + out_path;
+  const std::string cmd = std::string(RVMA_METRICS_BIN) + " trace " +
+                          trace_path + " > " + out_path;
   ASSERT_EQ(std::system(cmd.c_str()), 0);
   std::ifstream in(out_path);
   std::string report((std::istreambuf_iterator<char>(in)),

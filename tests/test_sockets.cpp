@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "sockets/socket_stack.hpp"
 
 namespace rvma::sockets {
@@ -42,7 +43,7 @@ class SocketsTest : public ::testing::Test {
     return {client_conn, server_conn};
   }
 
-  nic::Cluster cluster_;
+  cluster::Cluster cluster_;
   RvmaEndpoint client_ep_;
   RvmaEndpoint server_ep_;
   SocketStack client_;
@@ -230,7 +231,7 @@ TEST(SocketsMultiNode, ThreeClientsOneServer) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 4;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   std::vector<std::unique_ptr<RvmaEndpoint>> eps;
   std::vector<std::unique_ptr<SocketStack>> stacks;
   for (int n = 0; n < 4; ++n) {

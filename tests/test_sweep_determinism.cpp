@@ -1,10 +1,10 @@
 // Parallel-sweep determinism: the whole point of the SweepExecutor is
 // that running the figure grids with jobs=N produces bit-identical
 // results to jobs=1. These tests pin that contract on a mini Figure-8
-// style grid, on the per-run trace sinks, and on the seed derivation.
+// style grid (expressed as a scenario GridSpec), on the per-run trace
+// sinks, and on the seed derivation.
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -12,32 +12,30 @@
 #include <string>
 #include <vector>
 
-#include "motifs/figure_bench.hpp"
-#include "motifs/halo3d.hpp"
+#include "scenario/figure_grid.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
 
-namespace rvma::motifs {
+namespace rvma::scenario {
 namespace {
 
-MotifBenchConfig mini_bench() {
-  MotifBenchConfig bench;
-  bench.figure = "test";
-  bench.motif = "Halo3D";
-  bench.nodes = 8;
-  bench.gbps = {100, 400};
-  bench.build = [](int nodes) {
-    Halo3DConfig cfg;
-    const int p =
-        std::max(1, static_cast<int>(std::cbrt(static_cast<double>(nodes))));
-    cfg.px = p;
-    cfg.py = p;
-    cfg.pz = std::max(1, nodes / (p * p));
-    cfg.nx = cfg.ny = cfg.nz = 8;
-    cfg.vars = 2;
-    cfg.iterations = 2;
-    cfg.compute_per_cell = 50 * kPicosecond;
-    return build_halo3d(cfg);
-  };
-  return bench;
+GridSpec mini_grid() {
+  GridSpec grid;
+  grid.figure = "test";
+  grid.motif_label = "Halo3D";
+  grid.base.nodes = 8;
+  grid.base.motif = "halo3d";
+  grid.base.motif_params = {{"nx", "8"},
+                            {"ny", "8"},
+                            {"nz", "8"},
+                            {"vars", "2"},
+                            {"iterations", "2"},
+                            {"compute_per_cell", "50ps"}};
+  grid.gbps = {100, 400};
+  // First three rows of the figure grid keep the tests under a second
+  // while still covering torus, fat-tree, and adaptive routing.
+  grid.cases = {"torus3d-static", "torus3d-adaptive", "fattree-static"};
+  return grid;
 }
 
 std::string read_file(const std::string& path) {
@@ -48,16 +46,14 @@ std::string read_file(const std::string& path) {
 }
 
 TEST(SweepDeterminism, ParallelGridMatchesSerial) {
-  const MotifBenchConfig bench = mini_bench();
-  // First three rows of the figure grid keep the test under a second
-  // while still covering torus, fat-tree, and adaptive routing.
-  std::vector<TopoCase> cases(figure_topo_cases().begin(),
-                              figure_topo_cases().begin() + 3);
+  const GridSpec grid = mini_grid();
 
-  const std::vector<MotifCell> serial = run_motif_grid(bench, cases, 1);
-  const std::vector<MotifCell> parallel = run_motif_grid(bench, cases, 4);
+  std::vector<GridCell> serial, parallel;
+  std::string error;
+  ASSERT_TRUE(run_grid(grid, 1, &serial, &error)) << error;
+  ASSERT_TRUE(run_grid(grid, 4, &parallel, &error)) << error;
 
-  ASSERT_EQ(serial.size(), cases.size() * bench.gbps.size());
+  ASSERT_EQ(serial.size(), grid.cases.size() * grid.gbps.size());
   ASSERT_EQ(parallel.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
@@ -68,20 +64,23 @@ TEST(SweepDeterminism, ParallelGridMatchesSerial) {
 }
 
 TEST(SweepDeterminism, PerRunTraceSinksAreReproducible) {
-  const MotifBenchConfig bench = mini_bench();
+  const GridSpec grid = mini_grid();
   const std::string path_a = ::testing::TempDir() + "sweep_det_a.jsonl";
   const std::string path_b = ::testing::TempDir() + "sweep_det_b.jsonl";
-  const std::uint64_t seed = derive_run_seed(bench.seed, 0, 0, true);
+
+  // The same cell-half spec the grid's run 1 would execute.
+  TopoCase tc;
+  std::string error;
+  ASSERT_TRUE(resolve_topo_case("torus3d-static", &tc, &error)) << error;
+  const ScenarioSpec spec =
+      expand_cell(grid, tc, 0, 0, /*use_rvma=*/true);
 
   Tracer sink_a, sink_b;
   ASSERT_TRUE(sink_a.open(path_a));
   ASSERT_TRUE(sink_b.open(path_b));
-  const MotifRunOutput a =
-      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
-                     Bandwidth::gbps(100), true, seed, &sink_a);
-  const MotifRunOutput b =
-      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
-                     Bandwidth::gbps(100), true, seed, &sink_b);
+  ScenarioResult a, b;
+  ASSERT_TRUE(run_scenario(spec, &a, &error, &sink_a)) << error;
+  ASSERT_TRUE(run_scenario(spec, &b, &error, &sink_b)) << error;
   sink_a.close();
   sink_b.close();
 
@@ -96,16 +95,15 @@ TEST(SweepDeterminism, PerRunTraceSinksAreReproducible) {
 }
 
 TEST(SweepDeterminism, MetricsJsonIdenticalAcrossJobCounts) {
-  MotifBenchConfig bench = mini_bench();
-  bench.sample_period = 2 * kMicrosecond;
-  std::vector<TopoCase> cases(figure_topo_cases().begin(),
-                              figure_topo_cases().begin() + 3);
+  GridSpec grid = mini_grid();
+  grid.base.sample_period = 2 * kMicrosecond;
 
-  const std::vector<MotifCell> serial = run_motif_grid(bench, cases, 1);
-  const std::vector<MotifCell> parallel = run_motif_grid(bench, cases, 4);
-  const obs::MetricsDoc doc_s = build_motif_metrics_doc(bench, cases, serial);
-  const obs::MetricsDoc doc_p =
-      build_motif_metrics_doc(bench, cases, parallel);
+  std::vector<GridCell> serial, parallel;
+  std::string error;
+  ASSERT_TRUE(run_grid(grid, 1, &serial, &error)) << error;
+  ASSERT_TRUE(run_grid(grid, 4, &parallel, &error)) << error;
+  const obs::MetricsDoc doc_s = build_grid_metrics_doc(grid, serial);
+  const obs::MetricsDoc doc_p = build_grid_metrics_doc(grid, parallel);
 
   // The serialized document — the exact bytes --metrics writes — must be
   // identical at any job count.
@@ -121,13 +119,13 @@ TEST(SweepDeterminism, MetricsJsonIdenticalAcrossJobCounts) {
   for (const obs::Timeseries& ts : doc_s.timeseries) {
     EXPECT_FALSE(ts.empty());
     EXPECT_FALSE(ts.label.empty());
-    EXPECT_EQ(ts.period, bench.sample_period);
+    EXPECT_EQ(ts.period, grid.base.sample_period);
   }
 
   // Sampling must not perturb the simulation: same makespans and event
   // counts as the unsampled grid.
-  const std::vector<MotifCell> unsampled =
-      run_motif_grid(mini_bench(), cases, 1);
+  std::vector<GridCell> unsampled;
+  ASSERT_TRUE(run_grid(mini_grid(), 1, &unsampled, &error)) << error;
   ASSERT_EQ(unsampled.size(), serial.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].rvma.makespan, unsampled[i].rvma.makespan) << i;
@@ -137,15 +135,20 @@ TEST(SweepDeterminism, MetricsJsonIdenticalAcrossJobCounts) {
 }
 
 TEST(SweepDeterminism, StaticRoutingUsesNextHopCache) {
-  const MotifBenchConfig bench = mini_bench();
-  const MotifRunOutput cached =
-      run_motif_once(bench, net::TopologyKind::kTorus3D, net::Routing::kStatic,
-                     Bandwidth::gbps(100), true, 1);
+  const GridSpec grid = mini_grid();
+  ScenarioSpec spec = grid.base;
+  spec.topology = "torus3d";
+  spec.routing = "static";
+  spec.transport = "rvma";
+  spec.seed = 1;
+
+  ScenarioResult cached, adaptive;
+  std::string error;
+  ASSERT_TRUE(run_scenario(spec, &cached, &error)) << error;
   EXPECT_GT(cached.route_cache_hits, 0u);
 
-  const MotifRunOutput adaptive = run_motif_once(
-      bench, net::TopologyKind::kTorus3D, net::Routing::kAdaptive,
-      Bandwidth::gbps(100), true, 1);
+  spec.routing = "adaptive";
+  ASSERT_TRUE(run_scenario(spec, &adaptive, &error)) << error;
   EXPECT_EQ(adaptive.route_cache_hits, 0u);
 }
 
@@ -164,4 +167,4 @@ TEST(SweepDeterminism, RunSeedsAreStableAndDistinct) {
 }
 
 }  // namespace
-}  // namespace rvma::motifs
+}  // namespace rvma::scenario

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
 #include "common/trace.hpp"
 #include "core/endpoint.hpp"
 #include "sim/engine.hpp"
@@ -60,7 +61,7 @@ TEST_F(TraceTest, HooksCoverPutLifecycle) {
   net::NetworkConfig cfg;
   cfg.topology = net::TopologyKind::kStar;
   cfg.nodes_hint = 2;
-  nic::Cluster cluster(cfg, nic::NicParams{});
+  cluster::Cluster cluster(cfg, nic::NicParams{});
   core::RvmaEndpoint sender(cluster.nic(0), core::RvmaParams{});
   core::RvmaEndpoint receiver(cluster.nic(1), core::RvmaParams{});
   receiver.init_window(0x1, 64, core::EpochType::kBytes);

@@ -27,7 +27,7 @@ build_dir=${1:-"$repo_root/build-bench"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" --target engine_throughput fig8_halo3d \
-  rvma_metrics -j "$(nproc)"
+  rvma_metrics rvma_run -j "$(nproc)"
 
 # Capture the previously recorded express-path throughput before the
 # bench overwrites the file.
@@ -102,6 +102,29 @@ fi
 "$build_dir/tools/rvma_metrics" summarize "$tmp_dir/parallel_metrics.json" \
   > /dev/null
 echo "metrics: documents identical, schema + instruments validated"
+
+# --- Scenario equivalence gate ------------------------------------------
+# The declarative path must be the same experiment: fig8 emits its grid
+# as an rvma-scenario-grid-v1 document, rvma_run executes it, and the
+# table and metrics document must be byte-identical to the bench's own
+# serial run above.
+echo "scenario: rvma_run replay of the emitted fig8 grid"
+"$build_dir/bench/fig8_halo3d" --quick --emit-grid="$tmp_dir/fig8_grid.json" \
+  > /dev/null
+"$build_dir/tools/rvma_run" "$tmp_dir/fig8_grid.json" --jobs=1 \
+  --metrics="$tmp_dir/scenario_metrics.json" > "$tmp_dir/scenario.txt"
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/scenario.txt" > "$tmp_dir/scenario_table.txt"
+if ! diff -u "$tmp_dir/serial_table.txt" "$tmp_dir/scenario_table.txt"; then
+  echo "ERROR: rvma_run grid output differs from the fig8 bench" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp_dir/serial_metrics.json" "$tmp_dir/scenario_metrics.json"
+then
+  echo "ERROR: rvma_run metrics differ from the fig8 bench" >&2
+  exit 1
+fi
+echo "scenario: rvma_run table and metrics byte-identical to the bench"
 
 # --- Express exactness gate ---------------------------------------------
 # The express cut-through path must be a pure wall-clock optimization:

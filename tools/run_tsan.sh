@@ -8,7 +8,9 @@
 # (static next-hop cache), the NIC admission/drain path, and the
 # express-exactness tests (whose mini-grid runs express and hop-by-hop
 # fabrics concurrently across worker threads — the pooled non-atomic
-# message refcount must stay engine-local).
+# message refcount must stay engine-local), and the scenario-layer tests
+# (registry materialization plus the rvma_run grid replay, which fans
+# cells out over the executor).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -20,11 +22,11 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
 cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs \
+  test_express_exactness test_nic test_obs test_scenario \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs
+  test_express_exactness test_nic test_obs test_scenario
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"

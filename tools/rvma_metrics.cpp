@@ -11,8 +11,7 @@
 //   check <file> [name...]           validate schema + required
 //        [--need-histogram]          instruments; exit code = number of
 //        [--need-timeseries]         failed checks (CI gate)
-//   trace <trace.jsonl>              per-engine trace analysis (same
-//                                    engine as trace_stats)
+//   trace <trace.jsonl>              per-engine trace analysis
 #include <cstdio>
 #include <cstring>
 #include <string>
