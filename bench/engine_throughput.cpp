@@ -12,6 +12,7 @@
 //  * fanout — many events pending at once (heap depth stress).
 //  * fabric — real Cluster: multi-packet messages through the star fabric
 //             and the NIC dispatch path.
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,18 +24,22 @@
 
 #include "net/topology.hpp"
 #include "cluster/cluster.hpp"
+#include "motifs/halo3d.hpp"
+#include "motifs/runner.hpp"
+#include "motifs/rvma_transport.hpp"
 #include "sim/engine.hpp"
 
 // ------------------------------------------------------------------
 // Counting allocator hook: every global new/delete in the process bumps
 // a counter, so "allocations per steady-state event" is measured, not
-// guessed. Single-threaded benchmark, so plain counters suffice.
-static std::uint64_t g_alloc_count = 0;
-static std::uint64_t g_alloc_bytes = 0;
+// guessed. Relaxed atomics: the shard-scaling section below runs worker
+// threads, and the single-threaded sections don't care about ordering.
+static std::atomic<std::uint64_t> g_alloc_count{0};
+static std::atomic<std::uint64_t> g_alloc_bytes{0};
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
-  g_alloc_bytes += size;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -237,6 +242,66 @@ FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes,
   return out;
 }
 
+struct ShardRow {
+  int shards = 1;         ///< requested --par-shards value
+  int effective = 1;      ///< after the cluster's exactness clamps
+  double wall_seconds = 0;
+  double speedup = 1.0;   ///< vs the shards=1 row
+  rvma::Time makespan = 0;
+};
+
+/// PDES shard scaling: the same 512-node halo exchange run serially and
+/// with 2/4/8 shards. The makespan must be identical at every K (the
+/// bit-identity contract, DESIGN.md §12) — a mismatch aborts the bench.
+/// Speedups are wall-clock only and bounded by physical cores; on a
+/// single-core host every row degenerates to ~1x plus window overhead.
+std::vector<ShardRow> bench_pdes_shards() {
+  namespace net = rvma::net;
+  namespace nic = rvma::nic;
+  using rvma::cluster::Cluster;
+  using rvma::motifs::build_halo3d;
+  using rvma::motifs::Halo3DConfig;
+  using rvma::motifs::MotifRunner;
+  using rvma::motifs::RvmaTransport;
+
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kTorus3D;
+  cfg.routing = net::Routing::kStatic;  // adaptive clamps to serial
+  cfg.nodes_hint = 512;
+  cfg.seed = 11;
+
+  Halo3DConfig halo;
+  halo.px = halo.py = halo.pz = 8;  // 512 ranks
+  halo.nx = halo.ny = halo.nz = 8;
+  halo.iterations = 2;
+  halo.compute_per_cell = 0;
+
+  std::vector<ShardRow> rows;
+  for (int k : {1, 2, 4, 8}) {
+    Cluster cluster(cfg, nic::NicParams{}, k);
+    RvmaTransport transport(cluster, rvma::core::RvmaParams{});
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto result =
+        MotifRunner(cluster, transport, build_halo3d(halo)).run();
+    ShardRow row;
+    row.shards = k;
+    row.effective = cluster.num_shards();
+    row.wall_seconds = seconds_since(t0);
+    row.makespan = result.makespan;
+    row.speedup = rows.empty() ? 1.0
+                               : rows.front().wall_seconds / row.wall_seconds;
+    if (!rows.empty() && row.makespan != rows.front().makespan) {
+      std::fprintf(stderr,
+                   "ERROR: pdes shards=%d makespan %llu != serial %llu\n", k,
+                   static_cast<unsigned long long>(row.makespan),
+                   static_cast<unsigned long long>(rows.front().makespan));
+      std::exit(1);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 // Pre-rewrite numbers, measured on the seed engine (commit d9148ab:
 // std::function callbacks, std::priority_queue events, unordered_map NIC
 // dispatch, per-packet fabric injection) with exactly this benchmark on
@@ -262,6 +327,7 @@ int main(int argc, char** argv) {
       bench_fabric(20'000, 64 * 1024, Pattern::kIncast, true);
   const FabricStatsOut incast_hop =
       bench_fabric(20'000, 64 * 1024, Pattern::kIncast, false);
+  const std::vector<ShardRow> shards = bench_pdes_shards();
 
   const double speedup = chain.events_per_sec / kBaselineChainEventsPerSec;
   const double express_speedup =
@@ -282,6 +348,13 @@ int main(int argc, char** argv) {
               fabric_hop.packets_per_sec / 1e6, express_speedup);
   std::printf("incast: %.2fM packets/s express, %.2fM packets/s hop-by-hop\n",
               incast.packets_per_sec / 1e6, incast_hop.packets_per_sec / 1e6);
+  for (const ShardRow& row : shards) {
+    std::printf(
+        "pdes  : shards=%d (effective %d) %.3fs wall, %.2fx vs serial, "
+        "makespan %llu ps\n",
+        row.shards, row.effective, row.wall_seconds, row.speedup,
+        static_cast<unsigned long long>(row.makespan));
+  }
   std::printf("speedup vs seed baseline (chain): %.2fx\n", speedup);
 
   FILE* f = std::fopen(out_path, "w");
@@ -313,10 +386,7 @@ int main(int argc, char** argv) {
                "    \"incast_packets_per_sec\": %.0f,\n"
                "    \"incast_noexpress_packets_per_sec\": %.0f,\n"
                "    \"incast_allocs_per_packet\": %.3f\n"
-               "  },\n"
-               "  \"speedup_chain_events_per_sec\": %.3f,\n"
-               "  \"speedup_fabric_express_vs_noexpress\": %.3f\n"
-               "}\n",
+               "  },\n",
                kBaselineChainEventsPerSec, kBaselineFanoutEventsPerSec,
                kBaselinePacketsPerSec, kBaselineAllocsPerEvent,
                chain.events_per_sec, chain.allocs_per_event,
@@ -326,7 +396,24 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(fabric.express_commits),
                fabric_hop.packets_per_sec, fabric_hop.allocs_per_packet,
                incast.packets_per_sec, incast_hop.packets_per_sec,
-               incast.allocs_per_packet, speedup, express_speedup);
+               incast.allocs_per_packet);
+  std::fprintf(f, "  \"pdes_shards\": [\n");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardRow& row = shards[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"effective\": %d, "
+                 "\"wall_seconds\": %.3f, \"speedup_vs_serial\": %.3f, "
+                 "\"makespan_ps\": %llu}%s\n",
+                 row.shards, row.effective, row.wall_seconds, row.speedup,
+                 static_cast<unsigned long long>(row.makespan),
+                 i + 1 < shards.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"speedup_chain_events_per_sec\": %.3f,\n"
+               "  \"speedup_fabric_express_vs_noexpress\": %.3f\n"
+               "}\n",
+               speedup, express_speedup);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);
   return 0;

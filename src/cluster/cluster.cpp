@@ -1,12 +1,15 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+#include <cassert>
+
 #include "common/log.hpp"
 #include "common/trace.hpp"
 
 namespace rvma::cluster {
 
 Cluster::Cluster(const net::NetworkConfig& net_config,
-                 const nic::NicParams& nic_params) {
+                 const nic::NicParams& nic_params, int par_shards) {
   // Every experiment builds a Cluster, so this is the one-time hook for
   // the environment-driven diagnostics (RVMA_LOG / RVMA_TRACE).
   static const bool env_initialized = [] {
@@ -15,60 +18,206 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
     return true;
   }();
   (void)env_initialized;
-  network_ = std::make_unique<net::Network>(engine_, net_config, &metrics_);
-  const int n = network_->num_nodes();
-  nics_.reserve(n);
-  for (net::NodeId node = 0; node < n; ++node) {
-    nics_.push_back(std::make_unique<nic::Nic>(engine_, *network_, node,
-                                               nic_params, &metrics_));
+
+  int k = std::max(1, par_shards);
+  // Exact sharding requires static routing (adaptive consults a
+  // per-Network RNG stream, which would diverge across shard-local
+  // replicas) and no global trace sink (one serial stream).
+  if (net_config.routing != net::Routing::kStatic) k = 1;
+  if (Tracer::global().enabled()) k = 1;
+
+  // Shard 0 is built first: its network tells us the switch count and the
+  // cross-shard lookahead, which bound how many shards are viable.
+  shards_.push_back(std::make_unique<Shard>());
+  Shard& s0 = *shards_[0];
+  sharded_.attach(&s0.engine);
+  s0.network =
+      std::make_unique<net::Network>(s0.engine, net_config, &s0.metrics);
+  net::Fabric& f0 = s0.network->fabric();
+  const int num_sw = f0.num_switches();
+  k = std::min(k, num_sw);
+
+  // Contiguous slab assignment: switch sw belongs to shard sw*k/S. Every
+  // topology builder numbers switches so that adjacent indices are
+  // adjacent in the machine (torus z-slabs, fat-tree pods...), keeping
+  // most links intra-shard.
+  std::vector<std::int32_t> shard_of_switch;
+  if (k > 1) {
+    shard_of_switch.resize(static_cast<std::size_t>(num_sw));
+    for (int sw = 0; sw < num_sw; ++sw) {
+      shard_of_switch[static_cast<std::size_t>(sw)] = static_cast<std::int32_t>(
+          static_cast<std::int64_t>(sw) * k / num_sw);
+    }
+    // Conservative lookahead = the minimum latency of any link that
+    // crosses shards: an event at time t on one shard can influence
+    // another no earlier than t + lookahead. Zero lookahead (or a
+    // topology where no link crosses) means windows cannot make progress
+    // exactly — fall back to serial.
+    Time la = kTimeInfinity;
+    for (int sw = 0; sw < num_sw; ++sw) {
+      for (const net::Port& p : f0.switch_at(sw).ports) {
+        if (p.peer_switch < 0) continue;
+        if (shard_of_switch[static_cast<std::size_t>(sw)] ==
+            shard_of_switch[static_cast<std::size_t>(p.peer_switch)]) {
+          continue;
+        }
+        la = std::min(la, p.link.latency);
+      }
+    }
+    if (la == 0 || la == kTimeInfinity) {
+      k = 1;
+      shard_of_switch.clear();
+    } else {
+      lookahead_ = la;
+      sharded_.set_lookahead(la);
+    }
   }
 
-  // Standard sampler columns. Providers only dereference Cluster-owned
-  // state (engine, fabric, NICs, registry), all of which outlives the
-  // sampler's use. Same-named providers sum into one column (NIC queues).
-  sampler_.add_gauge("engine.heap_depth", [this] {
-    return static_cast<std::int64_t>(engine_.pending());
-  });
-  sampler_.add_gauge("fabric.inflight_packets", [this] {
-    return network_->fabric().inflight_packets();
-  });
-  sampler_.add_gauge("fabric.port_backlog_ns", [this] {
-    // Single conversion point for this column lives on the Fabric
-    // (current_port_backlog_max_ns), shared with the registry gauge's unit.
-    return network_->fabric().current_port_backlog_max_ns();
-  });
-  for (const auto& nic : nics_) {
-    nic::Nic* raw = nic.get();
-    sampler_.add_gauge("nic.tx_queue_depth", [raw] {
-      return raw->tx_queue_depth();
+  // Remaining shards: identical construction (same config, same seed)
+  // yields identical wiring and static route tables; each shard's fabric
+  // only ever arbitrates ports on its own switches.
+  for (int s = 1; s < k; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    sharded_.attach(&sh.engine);
+    sh.network =
+        std::make_unique<net::Network>(sh.engine, net_config, &sh.metrics);
+  }
+
+  if (k > 1) {
+    for (int s = 0; s < k; ++s) {
+      net::Fabric& f = shards_[static_cast<std::size_t>(s)]->network->fabric();
+      // The handoff hook runs on the source shard's thread mid-event. The
+      // Message descriptor lives in the source thread's MsgRef pool
+      // (non-atomic refcount), so it is copied out to a plain value here
+      // and re-pooled on the destination thread when the posted callback
+      // runs. Message::owned is a shared_ptr (atomic refcount) — safe to
+      // carry across. The callback itself exceeds the inline Callback
+      // capacity and rides in a pooled block, which simply migrates to
+      // the destination thread's free list; the window barriers provide
+      // the happens-before edge for both.
+      f.set_shard_map(
+          s, shard_of_switch,
+          [this, s](int dst_shard, int next_sw, Time arrival, Time rank,
+                    net::Packet&& pkt) {
+            net::Message msg = *pkt.msg;
+            msg.pool_rc = 0;
+            pkt.msg.reset();
+            net::Fabric* dst_fabric =
+                &shards_[static_cast<std::size_t>(dst_shard)]
+                     ->network->fabric();
+            sharded_.post(
+                s, dst_shard, arrival,
+                sim::Callback([dst_fabric, next_sw, arrival, rank,
+                               pkt = std::move(pkt),
+                               msg = std::move(msg)]() mutable {
+                  pkt.msg = net::MsgRef::make(std::move(msg));
+                  dst_fabric->receive_remote(next_sw, arrival, rank,
+                                             std::move(pkt));
+                }));
+          });
+    }
+  }
+
+  // One NIC per node, living on the shard that owns its switch: delivery
+  // and the express-rx hook register only there, so a packet reaching its
+  // ejection switch is always on the right shard.
+  const int n = s0.network->num_nodes();
+  shard_of_node_.resize(static_cast<std::size_t>(n), 0);
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (net::NodeId node = 0; node < n; ++node) {
+    int s = 0;
+    if (k > 1) {
+      s = shard_of_switch[static_cast<std::size_t>(f0.switch_of_node(node))];
+    }
+    shard_of_node_[static_cast<std::size_t>(node)] =
+        static_cast<std::int32_t>(s);
+    Shard& sh = *shards_[static_cast<std::size_t>(s)];
+    nics_.push_back(std::make_unique<nic::Nic>(sh.engine, *sh.network, node,
+                                               nic_params, &sh.metrics));
+  }
+
+  if (!sharded()) {
+    // Standard sampler columns. Providers only dereference Cluster-owned
+    // state (engine, fabric, NICs, registry), all of which outlives the
+    // sampler's use. Same-named providers sum into one column (NIC
+    // queues). Sharded runs never sample: the providers read one shard's
+    // engine mid-flight, which the windowed phase cannot do exactly — the
+    // scenario layer clamps par_shards to 1 whenever sampling is armed.
+    sampler_ = std::make_unique<obs::Sampler>(s0.metrics);
+    sampler_->add_gauge("engine.heap_depth", [this] {
+      return static_cast<std::int64_t>(shards_[0]->engine.pending());
+    });
+    sampler_->add_gauge("fabric.inflight_packets", [this] {
+      return shards_[0]->network->fabric().inflight_packets();
+    });
+    sampler_->add_gauge("fabric.port_backlog_ns", [this] {
+      // Single conversion point for this column lives on the Fabric
+      // (current_port_backlog_max_ns), shared with the registry gauge's
+      // unit.
+      return shards_[0]->network->fabric().current_port_backlog_max_ns();
+    });
+    for (const auto& nic : nics_) {
+      nic::Nic* raw = nic.get();
+      sampler_->add_gauge("nic.tx_queue_depth",
+                          [raw] { return raw->tx_queue_depth(); });
+    }
+    // Endpoint levels derived from counter pairs: endpoints come and go
+    // per experiment, but the registry counters they mirror into are
+    // stable.
+    sampler_->add_gauge("rvma.posted_buffers", [this] {
+      return static_cast<std::int64_t>(
+          shards_[0]->metrics.counter("rvma.buffers_posted").value() -
+          shards_[0]->metrics.counter("rvma.buffers_retired").value());
+    });
+    sampler_->add_gauge("rvma.nic_counters_in_use", [this] {
+      return static_cast<std::int64_t>(
+          shards_[0]->metrics.counter("rvma.nic_counters_acquired").value() -
+          shards_[0]->metrics.counter("rvma.nic_counters_released").value());
     });
   }
-  // Endpoint levels derived from counter pairs: endpoints come and go per
-  // experiment, but the registry counters they mirror into are stable.
-  sampler_.add_gauge("rvma.posted_buffers", [this] {
-    return static_cast<std::int64_t>(
-        metrics_.counter("rvma.buffers_posted").value() -
-        metrics_.counter("rvma.buffers_retired").value());
-  });
-  sampler_.add_gauge("rvma.nic_counters_in_use", [this] {
-    return static_cast<std::int64_t>(
-        metrics_.counter("rvma.nic_counters_acquired").value() -
-        metrics_.counter("rvma.nic_counters_released").value());
-  });
 }
 
 Cluster::Cluster(const ClusterBuilder& builder)
-    : Cluster(builder.net_config(), builder.nic_params()) {}
+    : Cluster(builder.net_config(), builder.nic_params(),
+              builder.par_shards()) {}
 
 void Cluster::enable_sampling(Time period) {
-  sampler_.enable(period);
-  engine_.set_sampler(&sampler_);
+  assert(!sharded() && "sampling requires a serial (one-shard) cluster");
+  sampler_->enable(period);
+  shards_[0]->engine.set_sampler(sampler_.get());
+}
+
+net::FabricStats Cluster::fabric_stats() const {
+  net::FabricStats total = shards_[0]->network->fabric().stats();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const net::FabricStats fs = shards_[s]->network->fabric().stats();
+    total.packets_delivered += fs.packets_delivered;
+    total.packets_injected += fs.packets_injected;
+    total.total_hops += fs.total_hops;
+    total.wire_bytes_delivered += fs.wire_bytes_delivered;
+    total.packets_dropped_dead_node += fs.packets_dropped_dead_node;
+    total.route_cache_hits += fs.route_cache_hits;
+    total.max_port_backlog = std::max(total.max_port_backlog,
+                                      fs.max_port_backlog);
+    total.express_commits += fs.express_commits;
+    total.express_fallbacks += fs.express_fallbacks;
+    total.express_remats += fs.express_remats;
+  }
+  return total;
 }
 
 obs::MetricsSnapshot Cluster::collect_metrics() const {
-  obs::MetricsSnapshot snap = metrics_.snapshot();
-  snap.counters["engine.events_executed"] = engine_.executed_events();
-  snap.counters["engine.events_scheduled"] = engine_.scheduled_events();
+  obs::MetricsSnapshot snap = shards_[0]->metrics.snapshot();
+  std::uint64_t executed = shards_[0]->engine.executed_events();
+  std::uint64_t scheduled = shards_[0]->engine.scheduled_events();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    snap.merge(shards_[s]->metrics.snapshot());
+    executed += shards_[s]->engine.executed_events();
+    scheduled += shards_[s]->engine.scheduled_events();
+  }
+  snap.counters["engine.events_executed"] = executed;
+  snap.counters["engine.events_scheduled"] = scheduled;
   return snap;
 }
 

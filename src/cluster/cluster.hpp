@@ -6,6 +6,17 @@
 // benches, examples) receives an already-assembled Cluster — either built
 // directly from a NetworkConfig, fluently through ClusterBuilder, or
 // declaratively through a scenario spec (src/scenario).
+//
+// Sharded mode (par_shards > 1): the switch set splits into contiguous
+// shard slabs, each with its own Engine, MetricsRegistry, and a full copy
+// of the Network (identical construction => identical wiring and routes;
+// off-shard port state is dead weight that is never read). NICs attach on
+// the shard owning their switch, so injection and ejection never cross a
+// shard boundary — only transit hops do, handed across through
+// sim::ShardedEngine's windowed channels (DESIGN.md §12). Falls back to
+// one shard whenever conservative sharding cannot be exact: adaptive
+// routing (per-network RNG streams would diverge), an active global
+// tracer (one serial sink), or zero cross-shard lookahead.
 #pragma once
 
 #include <memory>
@@ -16,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace rvma::cluster {
 
@@ -26,37 +38,74 @@ class ClusterBuilder;
 class Cluster {
  public:
   Cluster(const net::NetworkConfig& net_config,
-          const nic::NicParams& nic_params);
+          const nic::NicParams& nic_params, int par_shards = 1);
   explicit Cluster(const ClusterBuilder& builder);
 
-  sim::Engine& engine() { return engine_; }
-  net::Network& network() { return *network_; }
+  /// Shard 0's engine — THE engine of a serial (par_shards == 1) cluster.
+  /// Sharded callers must anchor per-node work via engine_for().
+  sim::Engine& engine() { return shards_[0]->engine; }
+  net::Network& network() { return *shards_[0]->network; }
   nic::Nic& nic(net::NodeId node) { return *nics_[node]; }
-  int num_nodes() const { return network_->num_nodes(); }
+  int num_nodes() const { return shards_[0]->network->num_nodes(); }
 
-  /// The cluster-wide instrument registry every layer records into.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  obs::Sampler& sampler() { return sampler_; }
+  // ---- sharding ----
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  bool sharded() const { return num_shards() > 1; }
+  sim::ShardedEngine& sharded_engine() { return sharded_; }
+  int shard_of_node(net::NodeId node) const {
+    return shard_of_node_[static_cast<std::size_t>(node)];
+  }
+  /// The engine that simulates `node`'s NIC and protocol state.
+  sim::Engine& engine_for(net::NodeId node) {
+    return shards_[static_cast<std::size_t>(shard_of_node(node))]->engine;
+  }
+  sim::Engine& engine_for_shard(int k) {
+    return shards_[static_cast<std::size_t>(k)]->engine;
+  }
+  net::Network& network_for(net::NodeId node) {
+    return *shards_[static_cast<std::size_t>(shard_of_node(node))]->network;
+  }
+  /// Minimum cross-shard link latency (0 when serial).
+  Time lookahead() const { return lookahead_; }
+
+  /// Whole-machine fabric view: counters summed across shards,
+  /// max_port_backlog maxed. Equals network().fabric().stats() when serial.
+  net::FabricStats fabric_stats() const;
+
+  /// The cluster-wide instrument registry every layer records into
+  /// (shard 0's registry when sharded — use collect_metrics() for totals).
+  obs::MetricsRegistry& metrics() { return shards_[0]->metrics; }
+  obs::Sampler& sampler() { return *sampler_; }
 
   /// Arm simulated-time gauge sampling (engine.heap_depth, in-flight
   /// packets, port backlog, NIC tx queues, posted buffers...) with the
-  /// given period. Call before running the simulation.
+  /// given period. Call before running the simulation. Serial only — the
+  /// scenario layer clamps par_shards to 1 whenever sampling is on.
   void enable_sampling(Time period);
 
   /// Registry snapshot plus the engine's own counters (events executed /
-  /// scheduled, final heap depth). Idempotent — engine values are stamped
-  /// into the snapshot, not accumulated into the registry.
+  /// scheduled, final heap depth). Sharded: shard snapshots merged in
+  /// shard order (counters sum, gauges max, histograms bucket-sum — all
+  /// order-invariant) and engine counters summed. Idempotent — engine
+  /// values are stamped into the snapshot, not accumulated.
   obs::MetricsSnapshot collect_metrics() const;
 
  private:
-  // Declaration order is lifetime order: instruments and sampler must
-  // outlive the engine/NICs that hold pointers into them (destruction
-  // runs in reverse).
-  obs::MetricsRegistry metrics_;
-  obs::Sampler sampler_{metrics_};
-  sim::Engine engine_;
-  std::unique_ptr<net::Network> network_;
+  /// Everything one shard owns. Declaration order is lifetime order: the
+  /// registry and engine must outlive the network/NICs holding pointers
+  /// into them (destruction runs in reverse).
+  struct Shard {
+    obs::MetricsRegistry metrics;
+    sim::Engine engine;
+    std::unique_ptr<net::Network> network;
+  };
+
+  sim::ShardedEngine sharded_;  ///< non-owning view over shard engines
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::int32_t> shard_of_node_;
   std::vector<std::unique_ptr<nic::Nic>> nics_;
+  std::unique_ptr<obs::Sampler> sampler_;  ///< serial clusters only
+  Time lookahead_ = 0;
 };
 
 /// Fluent front-end over (NetworkConfig, NicParams) for callers that wire
@@ -111,6 +160,12 @@ class ClusterBuilder {
     net_.express = on;
     return *this;
   }
+  /// Number of parallel engine shards (1 = serial; clamped to the switch
+  /// count and to 1 whenever exact sharding is impossible — see Cluster).
+  ClusterBuilder& par_shards(int k) {
+    par_shards_ = k;
+    return *this;
+  }
   /// Wholesale overrides for callers that already hold a config.
   ClusterBuilder& net_config(const net::NetworkConfig& config) {
     net_ = config;
@@ -123,14 +178,16 @@ class ClusterBuilder {
 
   const net::NetworkConfig& net_config() const { return net_; }
   const nic::NicParams& nic_params() const { return nic_; }
+  int par_shards() const { return par_shards_; }
 
   std::unique_ptr<Cluster> build() const {
-    return std::make_unique<Cluster>(net_, nic_);
+    return std::make_unique<Cluster>(net_, nic_, par_shards_);
   }
 
  private:
   net::NetworkConfig net_;
   nic::NicParams nic_;
+  int par_shards_ = 1;
 };
 
 }  // namespace rvma::cluster

@@ -47,10 +47,11 @@ std::string format_bandwidth(Bandwidth bw) {
 namespace {
 
 /// Split "2.5us" / "64 KiB" / "4096" into a decimal value and a
-/// (possibly empty) unit suffix. Returns false on malformed numbers or
-/// trailing garbage after the unit.
+/// (possibly empty) unit suffix, also exposing the raw numeric token so
+/// digits-only inputs can take the exact integer path below. Returns false
+/// on malformed numbers or trailing garbage after the unit.
 bool split_number_unit(std::string_view text, double* value,
-                       std::string* unit) {
+                       std::string_view* number, std::string* unit) {
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
     text.remove_prefix(1);
   while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back())))
@@ -60,6 +61,7 @@ bool split_number_unit(std::string_view text, double* value,
   const char* end = text.data() + text.size();
   auto [ptr, ec] = std::from_chars(begin, end, *value);
   if (ec != std::errc{} || ptr == begin) return false;
+  *number = std::string_view(begin, static_cast<std::size_t>(ptr - begin));
   std::string_view rest(ptr, static_cast<std::size_t>(end - ptr));
   while (!rest.empty() && std::isspace(static_cast<unsigned char>(rest.front())))
     rest.remove_prefix(1);
@@ -67,13 +69,56 @@ bool split_number_unit(std::string_view text, double* value,
   return true;
 }
 
+/// Exactly 2^64 as a double. Doubles at or above this cannot fit uint64_t;
+/// everything strictly below casts without overflow (though values past
+/// 2^53 may already have lost integer precision — hence the exact integer
+/// path for digits-only input).
+constexpr double kTwoPow64 = 18446744073709551616.0;
+
 /// `value` scaled by `scale` if the product is integral and in range.
 bool exact_scaled(double value, double scale, std::uint64_t* out) {
   const double scaled = value * scale;
-  if (!(scaled >= 0.0) || scaled > 1.8e19) return false;
+  if (!(scaled >= 0.0) || scaled >= kTwoPow64) return false;
   if (scaled != std::floor(scaled)) return false;
   *out = static_cast<std::uint64_t>(scaled);
   return true;
+}
+
+enum class IntPath { kNotInteger, kOverflow, kOk };
+
+/// Exact path for digits-only tokens: parse as uint64_t and multiply with
+/// an explicit overflow check, so e.g. byte counts near UINT64_MAX survive
+/// verbatim instead of detouring through double (53-bit mantissa).
+IntPath exact_scaled_integer(std::string_view number, std::uint64_t scale,
+                             std::uint64_t* out) {
+  if (number.empty()) return IntPath::kNotInteger;
+  for (const char c : number) {
+    if (c < '0' || c > '9') return IntPath::kNotInteger;
+  }
+  std::uint64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(number.data(), number.data() + number.size(), value);
+  if (ec != std::errc{} || ptr != number.data() + number.size()) {
+    // Digits-only input can only fail by exceeding uint64 — reject it
+    // rather than let the double path round it back into range.
+    return IntPath::kOverflow;
+  }
+  std::uint64_t scaled = 0;
+  if (__builtin_mul_overflow(value, scale, &scaled)) return IntPath::kOverflow;
+  *out = scaled;
+  return IntPath::kOk;
+}
+
+/// Scale by an integral unit: exact integer arithmetic for digits-only
+/// tokens, double fallback for fractional/exponent forms ("2.5us", "1e3us").
+bool exact_scaled_unit(double value, std::string_view number,
+                       std::uint64_t scale, std::uint64_t* out) {
+  switch (exact_scaled_integer(number, scale, out)) {
+    case IntPath::kOk: return true;
+    case IntPath::kOverflow: return false;
+    case IntPath::kNotInteger: break;
+  }
+  return exact_scaled(value, static_cast<double>(scale), out);
 }
 
 /// Shortest decimal rendering that parses back to exactly `v`.
@@ -91,35 +136,38 @@ bool parse_duration(std::string_view text, Time* out) {
     return true;
   }
   double value = 0.0;
+  std::string_view number;
   std::string unit;
-  if (!split_number_unit(text, &value, &unit)) return false;
-  double scale = 0.0;
-  if (unit == "s") scale = static_cast<double>(kSecond);
-  else if (unit == "ms") scale = static_cast<double>(kMillisecond);
-  else if (unit == "us") scale = static_cast<double>(kMicrosecond);
-  else if (unit == "ns") scale = static_cast<double>(kNanosecond);
-  else if (unit == "ps" || unit.empty()) scale = 1.0;
+  if (!split_number_unit(text, &value, &number, &unit)) return false;
+  std::uint64_t scale = 0;
+  if (unit == "s") scale = kSecond;
+  else if (unit == "ms") scale = kMillisecond;
+  else if (unit == "us") scale = kMicrosecond;
+  else if (unit == "ns") scale = kNanosecond;
+  else if (unit == "ps" || unit.empty()) scale = 1;
   else return false;
-  return exact_scaled(value, scale, out);
+  return exact_scaled_unit(value, number, scale, out);
 }
 
 bool parse_size(std::string_view text, std::uint64_t* out) {
   double value = 0.0;
+  std::string_view number;
   std::string unit;
-  if (!split_number_unit(text, &value, &unit)) return false;
-  double scale = 0.0;
-  if (unit == "GiB") scale = static_cast<double>(GiB);
-  else if (unit == "MiB") scale = static_cast<double>(MiB);
-  else if (unit == "KiB") scale = static_cast<double>(KiB);
-  else if (unit == "B" || unit.empty()) scale = 1.0;
+  if (!split_number_unit(text, &value, &number, &unit)) return false;
+  std::uint64_t scale = 0;
+  if (unit == "GiB") scale = GiB;
+  else if (unit == "MiB") scale = MiB;
+  else if (unit == "KiB") scale = KiB;
+  else if (unit == "B" || unit.empty()) scale = 1;
   else return false;
-  return exact_scaled(value, scale, out);
+  return exact_scaled_unit(value, number, scale, out);
 }
 
 bool parse_bandwidth(std::string_view text, Bandwidth* out) {
   double value = 0.0;
+  std::string_view number;
   std::string unit;
-  if (!split_number_unit(text, &value, &unit)) return false;
+  if (!split_number_unit(text, &value, &number, &unit)) return false;
   double scale = 0.0;
   if (unit == "Tbps") scale = 1e12;
   else if (unit == "Gbps") scale = 1e9;

@@ -59,7 +59,7 @@ void RdmaTransport::setup(const std::vector<Channel>& channels,
     return;
   }
   for (ChannelState* cs : by_index_) {
-    stats_.control_messages += 2;  // request + reply
+    cs->ctrl_src += 2;  // request + reply
     endpoints_[cs->ch.src]->request_buffer(
         cs->ch.dst, cs->ch.bytes * static_cast<std::uint64_t>(slots_),
         [cs, pending, ready](rdma::RemoteBuffer rb) {
@@ -117,7 +117,7 @@ void RdmaTransport::grant_credit(ChannelState& cs) {
   // Return a credit: the initiator owns the region, so the target must
   // tell it when a slot is safe to overwrite.
   ++cs.credits_granted;
-  ++stats_.control_messages;
+  ++cs.ctrl_dst;
   endpoints_[cs.ch.dst]->send(cs.ch.src, (kImmCredit << 32) | cs.index);
 }
 
@@ -137,7 +137,7 @@ void RdmaTransport::send(int src, int dst, std::uint64_t tag,
                          std::function<void()> done) {
   ChannelState& cs = state(src, dst, tag);
   if (cs.credits == 0) {
-    ++stats_.credit_stalls;
+    ++cs.stalls;
     cs.credit_waiters.push_back([this, &cs, done = std::move(done)]() mutable {
       issue_send(cs, std::move(done));
     });
@@ -149,7 +149,7 @@ void RdmaTransport::send(int src, int dst, std::uint64_t tag,
 void RdmaTransport::issue_send(ChannelState& cs, std::function<void()> done) {
   assert(cs.credits > 0);
   --cs.credits;
-  ++stats_.data_messages;
+  ++cs.sent;
   const std::uint64_t slot = cs.send_seq % static_cast<std::uint64_t>(slots_);
   ++cs.send_seq;
   const int src = cs.ch.src;
@@ -163,7 +163,8 @@ void RdmaTransport::issue_send(ChannelState& cs, std::function<void()> done) {
       cs.remote, slot * cs.ch.bytes, nullptr, cs.ch.bytes,
       [this, src, dst, idx = cs.index] {
         if (!ordered_network_) {
-          ++stats_.control_messages;
+          // Local completion fires on src's shard thread: src-side counter.
+          ++by_index_[idx]->ctrl_src;
           endpoints_[src]->send(dst, (kImmComplete << 32) | idx);
         }
       },
@@ -175,10 +176,20 @@ void RdmaTransport::recv_wait(int dst, int src, std::uint64_t tag,
   ChannelState& cs = state(src, dst, tag);
   if (cs.completed > cs.consumed) {
     ++cs.consumed;
-    cluster_.engine().schedule(0, std::move(done));
+    cluster_.engine_for(dst).schedule(0, std::move(done));
     return;
   }
   cs.waiters.push_back(std::move(done));
+}
+
+const TransportStats& RdmaTransport::stats() const {
+  stats_ = TransportStats{};
+  for (const ChannelState* cs : by_index_) {
+    stats_.data_messages += cs->sent;
+    stats_.control_messages += cs->ctrl_src + cs->ctrl_dst;
+    stats_.credit_stalls += cs->stalls;
+  }
+  return stats_;
 }
 
 }  // namespace rvma::motifs

@@ -46,11 +46,18 @@ class RdmaTransport final : public Transport {
             std::function<void()> done) override;
   void recv_wait(int dst, int src, std::uint64_t tag,
                  std::function<void()> done) override;
-  const TransportStats& stats() const override { return stats_; }
+  const TransportStats& stats() const override;
 
   rdma::RdmaEndpoint& endpoint(int node) { return *endpoints_[node]; }
 
  private:
+  // The two halves of a ChannelState are touched from two different shard
+  // threads on a sharded cluster: sender-side fields only from events on
+  // shard_of(src) (send/issue_send and the credit arrivals pumped through
+  // src's recv CQ), receiver-side fields only from events on shard_of(dst)
+  // (recv_post/recv_wait, last-byte polls, completion sends through dst's
+  // CQ). Stats counters are therefore split per side and aggregated in
+  // stats(); a shared TransportStats total would race.
   struct ChannelState {
     Channel ch;
     std::uint32_t index = 0;
@@ -58,8 +65,12 @@ class RdmaTransport final : public Transport {
     rdma::RemoteBuffer remote;
     int credits = 0;
     std::uint64_t send_seq = 0;
+    std::uint64_t sent = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t ctrl_src = 0;  ///< handshakes + trailing completion sends
     std::deque<std::function<void()>> credit_waiters;
     // Receiver side.
+    std::uint64_t ctrl_dst = 0;  ///< credit sends
     std::uint64_t region_addr = 0;
     std::uint64_t arm_seq = 0;
     std::uint64_t credits_granted = 0;  ///< credits sent to the initiator
@@ -86,7 +97,7 @@ class RdmaTransport final : public Transport {
   std::vector<std::unique_ptr<rdma::RdmaEndpoint>> endpoints_;
   std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
   std::vector<ChannelState*> by_index_;
-  TransportStats stats_;
+  mutable TransportStats stats_;  ///< scratch for stats() aggregation
 };
 
 }  // namespace rvma::motifs

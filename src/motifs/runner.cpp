@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 #include "motifs/runner.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 
@@ -43,19 +44,40 @@ std::vector<Channel> MotifRunner::derive_channels(
 }
 
 MotifResult MotifRunner::run() {
-  auto& engine = cluster_.engine();
-  unfinished_ = static_cast<int>(programs_.size());
+  const std::size_t ranks = programs_.size();
+  rank_ops_.assign(ranks, 0);
+  rank_done_.assign(ranks, 0);
+  rank_finish_.assign(ranks, 0);
 
-  transport_.setup(derive_channels(programs_), [this, &engine] {
-    result_.setup_done = engine.now();
+  bool setup_fired = false;
+  transport_.setup(derive_channels(programs_), [this, &setup_fired] {
+    setup_fired = true;
+    result_.setup_done = cluster_.engine().now();
     for (int rank = 0; rank < static_cast<int>(programs_.size()); ++rank) {
       advance(rank);
     }
   });
 
-  engine.run();
-  assert(unfinished_ == 0 && "motif deadlocked (ranks still blocked)");
-  result_.engine_events = engine.executed_events();
+  if (!cluster_.sharded()) {
+    cluster_.engine().run();
+  } else {
+    // Setup handshakes ping-pong with zero-delay callbacks (below any
+    // lookahead), so they run in the merged serial-emulation mode; the
+    // steady-state motif then runs windowed in parallel.
+    sim::ShardedEngine& se = cluster_.sharded_engine();
+    se.run_merged_until([&setup_fired] { return setup_fired; });
+    assert(setup_fired && "transport setup never completed");
+    se.run_windowed();
+  }
+
+  for (std::size_t rank = 0; rank < ranks; ++rank) {
+    assert(rank_done_[rank] && "motif deadlocked (rank still blocked)");
+    result_.ops_executed += rank_ops_[rank];
+    result_.makespan = std::max(result_.makespan, rank_finish_[rank]);
+  }
+  for (int k = 0; k < cluster_.num_shards(); ++k) {
+    result_.engine_events += cluster_.engine_for_shard(k).executed_events();
+  }
   result_.transport = transport_.stats();
   return result_;
 }
@@ -65,7 +87,7 @@ void MotifRunner::advance(int rank) {
   while (pc_[rank] < prog.size()) {
     const Op& op = prog[pc_[rank]];
     ++pc_[rank];
-    ++result_.ops_executed;
+    ++rank_ops_[static_cast<std::size_t>(rank)];
     switch (op.kind) {
       case Op::Kind::kRecvPost:
         transport_.recv_post(rank, op.peer, op.tag);
@@ -81,18 +103,18 @@ void MotifRunner::advance(int rank) {
         return;
 
       case Op::Kind::kCompute:
-        cluster_.engine().schedule(op.compute, [this, rank] { advance(rank); });
+        cluster_.engine_for(rank).schedule(op.compute,
+                                           [this, rank] { advance(rank); });
         return;
     }
   }
   finish_rank(rank);
 }
 
-void MotifRunner::finish_rank(int) {
-  --unfinished_;
-  if (cluster_.engine().now() > result_.makespan) {
-    result_.makespan = cluster_.engine().now();
-  }
+void MotifRunner::finish_rank(int rank) {
+  rank_done_[static_cast<std::size_t>(rank)] = 1;
+  rank_finish_[static_cast<std::size_t>(rank)] =
+      cluster_.engine_for(rank).now();
 }
 
 }  // namespace rvma::motifs

@@ -62,7 +62,15 @@ class MotifRunner {
   Transport& transport_;
   std::vector<RankProgram> programs_;
   std::vector<std::size_t> pc_;
-  int unfinished_ = 0;
+  // Per-rank aggregates instead of shared accumulators: on a sharded
+  // cluster advance(rank) always executes on rank's shard thread (its
+  // sends, waits, and computes are anchored on engine_for(rank)), so
+  // per-rank elements are single-writer. Merged into MotifResult after
+  // the run. rank_done_ is uint8_t, not vector<bool> — bit-packed
+  // elements would share bytes across threads.
+  std::vector<std::uint64_t> rank_ops_;
+  std::vector<std::uint8_t> rank_done_;
+  std::vector<Time> rank_finish_;
   MotifResult result_;
 };
 

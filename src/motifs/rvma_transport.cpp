@@ -69,7 +69,7 @@ void RvmaTransport::recv_post(int, int, std::uint64_t) {
 void RvmaTransport::send(int src, int dst, std::uint64_t tag,
                          std::function<void()> done) {
   ChannelState& cs = state(src, dst, tag);
-  ++stats_.data_messages;
+  ++cs.sent;
   endpoints_[src]->put(dst, cs.vaddr, 0, nullptr, cs.ch.bytes,
                        std::move(done));
 }
@@ -79,10 +79,16 @@ void RvmaTransport::recv_wait(int dst, int src, std::uint64_t tag,
   ChannelState& cs = state(src, dst, tag);
   if (cs.completed > cs.consumed) {
     ++cs.consumed;
-    cluster_.engine().schedule(0, std::move(done));
+    cluster_.engine_for(dst).schedule(0, std::move(done));
     return;
   }
   cs.waiters.push_back(std::move(done));
+}
+
+const TransportStats& RvmaTransport::stats() const {
+  stats_ = TransportStats{};
+  for (const auto& [key, cs] : channels_) stats_.data_messages += cs.sent;
+  return stats_;
 }
 
 }  // namespace rvma::motifs

@@ -33,7 +33,7 @@ class RvmaTransport final : public Transport {
             std::function<void()> done) override;
   void recv_wait(int dst, int src, std::uint64_t tag,
                  std::function<void()> done) override;
-  const TransportStats& stats() const override { return stats_; }
+  const TransportStats& stats() const override;
 
   core::RvmaEndpoint& endpoint(int node) { return *endpoints_[node]; }
 
@@ -41,6 +41,7 @@ class RvmaTransport final : public Transport {
   struct ChannelState {
     Channel ch;
     std::uint64_t vaddr = 0;
+    std::uint64_t sent = 0;     ///< written only on src's shard thread
     int remaining_posts = 0;    ///< buffers not yet posted
     std::uint64_t completed = 0;
     std::uint64_t consumed = 0;
@@ -53,7 +54,9 @@ class RvmaTransport final : public Transport {
   int bucket_depth_;
   std::vector<std::unique_ptr<core::RvmaEndpoint>> endpoints_;
   std::map<std::tuple<int, int, std::uint64_t>, ChannelState> channels_;
-  TransportStats stats_;
+  /// Aggregated from per-channel counters on demand: channel counters are
+  /// single-writer on a sharded cluster, a shared total would race.
+  mutable TransportStats stats_;
   std::uint64_t next_vaddr_ = 0x11FF0000;  // mailbox namespace
 };
 

@@ -111,6 +111,31 @@ void Fabric::set_static_routes(std::vector<std::int32_t> table) {
   static_routes_ = std::move(table);
 }
 
+void Fabric::set_shard_map(int my_shard,
+                           std::vector<std::int32_t> shard_of_switch,
+                           RemoteHop hook) {
+  assert(shard_of_switch.size() == switches_.size());
+  my_shard_ = my_shard;
+  shard_of_switch_ = std::move(shard_of_switch);
+  remote_hop_ = std::move(hook);
+}
+
+void Fabric::receive_remote(int sw, Time arrival, Time rank, Packet&& pkt) {
+  assert(sharded() && shard_of_switch_[static_cast<std::size_t>(sw)] ==
+                          my_shard_);
+  // This packet's future arbitrations are invisible to the express path's
+  // eager charges (it never went through a local conflict walk), so any
+  // open record could interleave with it: fall back to exact arbitration.
+  rematerialize_open();
+  ++hop_inflight_;
+  ++inflight_;
+  const std::uint64_t tie = packet_tie(pkt);
+  engine_.schedule_at_ranked(
+      arrival, rank, tie, [this, sw, pkt = std::move(pkt)]() mutable {
+        arrive_at_switch(sw, std::move(pkt));
+      });
+}
+
 Time Fabric::port_backlog(int sw, int port) const {
   const Time busy = switches_[sw].ports[port].busy_until;
   const Time now = engine_.now();
@@ -125,6 +150,11 @@ Time Fabric::injection_backlog(NodeId node) const {
 
 void Fabric::fail_node(NodeId node) {
   assert(node >= 0 && node < static_cast<NodeId>(node_attach_.size()));
+  // Failure injection is a whole-fabric event (liveness is checked at
+  // delivery wherever the packet entered); a sharded run would need the
+  // failure mirrored on every shard at the same instant. Unsupported —
+  // the Cluster clamps to one shard before any failure experiment.
+  assert(!sharded() && "fail_node is not supported on a sharded fabric");
   // A dead node invalidates the no-divergence window the eager charges rely
   // on: put every open express packet back on the exact hop-by-hop path
   // before marking the node, and never fold delivery+rx again this run
@@ -176,9 +206,11 @@ void Fabric::inject(Packet&& pkt) {
     if (express_enabled_ && try_express_burst(&pkt, 1, &arrival) == 1) return;
   }
   ++hop_inflight_;
-  engine_.schedule_at(arrival, [this, sw, pkt = std::move(pkt)]() mutable {
-    arrive_at_switch(sw, std::move(pkt));
-  });
+  const std::uint64_t tie = packet_tie(pkt);
+  engine_.schedule_at_ranked(arrival, engine_.now(), tie,
+                             [this, sw, pkt = std::move(pkt)]() mutable {
+                               arrive_at_switch(sw, std::move(pkt));
+                             });
 }
 
 void Fabric::inject_burst(std::vector<Packet>& pkts) {
@@ -251,7 +283,12 @@ void Fabric::inject_burst(std::vector<Packet>& pkts) {
   burst->seq_base = engine_.reserve_sequence(burst->pkts.size());
   const Time first_arrival = burst->arrivals.front();
   const std::uint64_t first_seq = burst->seq_base;
-  engine_.schedule_at_seq(first_arrival, first_seq,
+  // Rank = the reservation instant (== every packet's injected_at: the
+  // whole burst is stamped inside this event); tie = the packet the
+  // chained event hands to the switch.
+  const Time rank = burst->pkts.front().injected_at;
+  const std::uint64_t tie = packet_tie(burst->pkts.front());
+  engine_.schedule_at_seq(first_arrival, first_seq, rank, tie,
                           [this, b = std::move(burst)]() mutable {
                             burst_step(std::move(b));
                           });
@@ -264,7 +301,9 @@ void Fabric::burst_step(std::unique_ptr<Burst> burst) {
   if (burst->next < burst->pkts.size()) {
     const Time arrival = burst->arrivals[burst->next];
     const std::uint64_t seq = burst->seq_base + burst->next;
-    engine_.schedule_at_seq(arrival, seq,
+    const Time rank = burst->pkts[burst->next].injected_at;
+    const std::uint64_t tie = packet_tie(burst->pkts[burst->next]);
+    engine_.schedule_at_seq(arrival, seq, rank, tie,
                             [this, b = std::move(burst)]() mutable {
                               burst_step(std::move(b));
                             });
@@ -336,6 +375,14 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
     if (p.peer_node >= 0) break;  // ejection hop: walk complete
     assert(p.peer_switch >= 0 && "packet routed to an unwired port");
     sw = p.peer_switch;
+    if (!shard_of_switch_.empty() &&
+        shard_of_switch_[static_cast<std::size_t>(sw)] != my_shard_) {
+      // The route leaves this shard: the remaining hops belong to a peer
+      // fabric whose port state we can neither read nor charge. The walk
+      // only read state so far — plain fallback, no unwinding needed.
+      express_fallbacks_ += n;
+      return 0;
+    }
   }
   if (hop_inflight_ > 0) {
     express_fallbacks_ += n;  // conflict scan only; commits impossible
@@ -430,11 +477,13 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
   if (fold) {
     r.state = XState::kFolded;
     engine_.schedule_at_seq(r.delivers[0] + at.express_rx_delay,
-                            r.pkts[0].res_seq + 1,
+                            r.pkts[0].res_seq + 1, r.pkts[0].injected_at,
+                            packet_tie(r.pkts[0]),
                             [this, idx] { express_event(idx); });
   } else {
     r.state = XState::kDelivery;
     engine_.schedule_at_seq(r.delivers[0], r.pkts[0].res_seq,
+                            r.pkts[0].injected_at, packet_tie(r.pkts[0]),
                             [this, idx] { express_event(idx); });
   }
   // Append to the open list (ordered by commit, i.e. by charge epoch).
@@ -501,6 +550,8 @@ void Fabric::express_event(std::uint32_t idx) {
       r.next = k + 1;
       if (r.next < r.chain_end) {
         engine_.schedule_at_seq(r.delivers[r.next], r.pkts[r.next].res_seq,
+                                r.pkts[r.next].injected_at,
+                                packet_tie(r.pkts[r.next]),
                                 [this, idx] { express_event(idx); });
       } else {
         close_record(idx);
@@ -521,6 +572,8 @@ void Fabric::express_event(std::uint32_t idx) {
       if (r.next < r.chain_end) {
         engine_.schedule_at_seq(r.delivers[r.next] + at.express_rx_delay,
                                 r.pkts[r.next].res_seq + 1,
+                                r.pkts[r.next].injected_at,
+                                packet_tie(r.pkts[r.next]),
                                 [this, idx] { express_event(idx); });
       } else {
         close_record(idx);
@@ -672,6 +725,8 @@ void Fabric::rematerialize_open() {
             // check included — and may flip the record to kRemDead.
             const std::uint32_t idx = i;
             engine_.schedule_at_seq(r.delivers[k], r.pkts[k].res_seq,
+                                    r.pkts[k].injected_at,
+                                    packet_tie(r.pkts[k]),
                                     [this, idx] { express_finalize(idx); });
           }
           r.state = XState::kRemRx;
@@ -683,16 +738,22 @@ void Fabric::rematerialize_open() {
           const NodeId node = r.node;
           if (r.delivers[k] >= now) {
             Packet pkt = std::move(r.pkts[k]);
+            const std::uint64_t seq = pkt.res_seq;
+            const Time rank = pkt.injected_at;
+            const std::uint64_t tie = packet_tie(pkt);
             engine_.schedule_at_seq(
-                r.delivers[k], pkt.res_seq,
+                r.delivers[k], seq, rank, tie,
                 [this, node, pkt = std::move(pkt)]() mutable {
                   deliver(node, std::move(pkt));
                 });
           } else {
             deliver_stats(r.pkts[k], r.delivers[k]);
             Packet pkt = std::move(r.pkts[k]);
+            const std::uint64_t seq = pkt.res_seq + 1;
+            const Time rank = pkt.injected_at;
+            const std::uint64_t tie = packet_tie(pkt);
             engine_.schedule_at_seq(
-                r.delivers[k] + at.express_rx_delay, pkt.res_seq + 1,
+                r.delivers[k] + at.express_rx_delay, seq, rank, tie,
                 [this, node, pkt = std::move(pkt)]() mutable {
                   node_attach_[node].express_rx(std::move(pkt));
                 });
@@ -719,10 +780,18 @@ void Fabric::rematerialize_open() {
         }
         ++hop_inflight_;
         const int sw = r.hops[jfut].sw;
-        engine_.schedule_at(replay_arr_[k * nh + jfut],
-                            [this, sw, pkt = std::move(pkt)]() mutable {
-                              arrive_at_switch(sw, std::move(pkt));
-                            });
+        const std::uint64_t tie = packet_tie(pkt);
+        // Rank = the instant hop-by-hop execution would have scheduled
+        // this arrive event: hop jfut-1's arbitration (the previous row
+        // entry), or the injection instant for a packet still on its
+        // injection link — NOT the remat instant, which is a property of
+        // the schedule, not of the packet.
+        const Time rank =
+            jfut > 0 ? replay_arr_[k * nh + (jfut - 1)] : pkt.injected_at;
+        engine_.schedule_at_ranked(replay_arr_[k * nh + jfut], rank, tie,
+                                   [this, sw, pkt = std::move(pkt)]() mutable {
+                                     arrive_at_switch(sw, std::move(pkt));
+                                   });
       }
     }
     i = nexti;
@@ -779,23 +848,56 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   if (p.peer_node >= 0) {
     --hop_inflight_;  // final arbitration for this packet
     const NodeId node = p.peer_node;
-    if (pkt.res_seq != kNoResSeq) {
-      engine_.schedule_at_seq(arrival, pkt.res_seq,
+    const Time rank = pkt.injected_at;
+    const std::uint64_t tie = packet_tie(pkt);
+    if (pkt.res_seq == kRemoteResSeq) {
+      // Crossed a shard boundary: the source-side reserved pair is gone,
+      // but (rank, tie) — properties of the packet, not of the schedule —
+      // give this delivery exactly the heap position the serial run's
+      // reserved sequence would have (sim/engine.hpp).
+      engine_.schedule_at_ranked(arrival, rank, tie,
+                                 [this, node, pkt = std::move(pkt)]() mutable {
+                                   deliver(node, std::move(pkt));
+                                 });
+    } else if (pkt.res_seq != kNoResSeq) {
+      const std::uint64_t seq = pkt.res_seq;
+      engine_.schedule_at_seq(arrival, seq, rank, tie,
                               [this, node, pkt = std::move(pkt)]() mutable {
                                 deliver(node, std::move(pkt));
                               });
     } else {
-      engine_.schedule_at(arrival,
-                          [this, node, pkt = std::move(pkt)]() mutable {
-                            deliver(node, std::move(pkt));
-                          });
+      engine_.schedule_at_ranked(arrival, rank, tie,
+                                 [this, node, pkt = std::move(pkt)]() mutable {
+                                   deliver(node, std::move(pkt));
+                                 });
     }
   } else {
     const int next = p.peer_switch;
     assert(next >= 0 && "packet routed to an unwired port");
-    engine_.schedule_at(arrival, [this, next, pkt = std::move(pkt)]() mutable {
-      arrive_at_switch(next, std::move(pkt));
-    });
+    if (!shard_of_switch_.empty() &&
+        shard_of_switch_[static_cast<std::size_t>(next)] != my_shard_) {
+      // The next hop's switch belongs to a peer shard: this fabric's part
+      // of the traversal (the arbitration above) is done. Hand the packet
+      // across; the owning fabric re-accounts it via receive_remote. The
+      // reserved sequence pair is an index into *this* engine's sequence
+      // space — meaningless (and possibly unreserved) on the peer — so
+      // it is replaced by the kRemoteResSeq marker: the peer schedules
+      // delivery/rx on fresh local sequences ranked at injected_at, and
+      // the hop event itself is ranked at this arbitration instant, so
+      // both resume the positions the serial tie-break would have given
+      // them (sim/engine.hpp).
+      --hop_inflight_;
+      --inflight_;
+      pkt.res_seq = kRemoteResSeq;
+      remote_hop_(shard_of_switch_[static_cast<std::size_t>(next)], next,
+                  arrival, engine_.now(), std::move(pkt));
+      return;
+    }
+    const std::uint64_t tie = packet_tie(pkt);
+    engine_.schedule_at_ranked(arrival, engine_.now(), tie,
+                               [this, next, pkt = std::move(pkt)]() mutable {
+                                 arrive_at_switch(next, std::move(pkt));
+                               });
   }
 }
 

@@ -81,6 +81,15 @@ class Fabric {
   using Router = std::function<int(int sw, const Packet&)>;
   /// Per-node delivery callback (installed by the NIC model).
   using Delivery = std::function<void(Packet&&)>;
+  /// Cross-shard handoff hook (sharded runs only): invoked when a packet's
+  /// next hop lands on a switch owned by another shard. `rank` is the
+  /// handing-off arbitration's instant — where a serial engine would have
+  /// allocated the arrival event's sequence number. The hook must
+  /// eventually call receive_remote(next_sw, arrival, rank, pkt) on the
+  /// owning shard's fabric; the Cluster wires it through
+  /// sim::ShardedEngine.
+  using RemoteHop = std::function<void(int dst_shard, int next_sw,
+                                       Time arrival, Time rank, Packet&&)>;
 
   /// When `metrics` is non-null the fabric records into that shared
   /// registry (the Cluster's); otherwise it owns a private one so
@@ -124,6 +133,23 @@ class Fabric {
   /// timing, stats, and trace output are bit-identical either way.
   void set_express_enabled(bool on) { express_enabled_ = on; }
   bool express_enabled() const { return express_enabled_; }
+
+  /// Shard this fabric: switches whose `shard_of_switch` entry differs
+  /// from `my_shard` are foreign — a packet hopping onto one is handed to
+  /// `hook` instead of being scheduled locally, and express walks stop at
+  /// the boundary. Nodes always inject and eject on the shard owning
+  /// their attachment switch, so only transit hops cross.
+  void set_shard_map(int my_shard, std::vector<std::int32_t> shard_of_switch,
+                     RemoteHop hook);
+  bool sharded() const { return !shard_of_switch_.empty(); }
+
+  /// Entry point for a packet handed off by a peer shard: accounts it as
+  /// an in-flight hop-mode packet of this fabric and schedules its
+  /// arrival at switch `sw` (owned by this shard) at time `arrival`,
+  /// tie-break-ranked at `rank` (the source-side handoff instant). Open
+  /// express records are rematerialized first — their eager charges were
+  /// committed without knowledge of this packet.
+  void receive_remote(int sw, Time arrival, Time rank, Packet&& pkt);
 
   /// Inject a packet from its source node's injection link.
   void inject(Packet&& pkt);
@@ -328,6 +354,11 @@ class Fabric {
   /// Flat (switch, dst) -> port table for static routing; empty when the
   /// routing mode is adaptive (per-packet router_ calls).
   std::vector<std::int32_t> static_routes_;
+  /// Sharding (empty when this fabric owns the whole topology): owning
+  /// shard per switch, this fabric's shard id, and the handoff hook.
+  std::vector<std::int32_t> shard_of_switch_;
+  int my_shard_ = 0;
+  RemoteHop remote_hop_;
 
   /// Shared (Cluster) or privately owned registry, plus the instruments
   /// resolved once at construction — a record is one add through a

@@ -147,6 +147,15 @@ class MsgRef {
 /// routing, or a packet rematerialized out of the express fast path).
 inline constexpr std::uint64_t kNoResSeq = ~std::uint64_t{0};
 
+/// Sentinel for Packet::res_seq on a packet handed across a shard
+/// boundary: the pair reserved at injection indexes the SOURCE engine's
+/// sequence space and is meaningless here, but the serial run would have
+/// ordered the delivery and receive events by that pair — i.e. by the
+/// injection instant. Delivery/rx therefore schedule with fresh local
+/// sequence numbers ranked at Packet::injected_at, reproducing the serial
+/// tie-break position (Engine tie-break model, sim/engine.hpp).
+inline constexpr std::uint64_t kRemoteResSeq = ~std::uint64_t{0} - 1;
+
 /// One packet on the wire. Packets of a message share the Message
 /// descriptor; `offset`/`bytes` delimit this packet's slice of the payload.
 struct Packet {
@@ -172,5 +181,21 @@ struct Packet {
 
   std::uint64_t wire_bytes() const { return std::uint64_t{bytes} + header_bytes; }
 };
+
+/// Content tie-break key for packet events (Engine tie-break model,
+/// sim/engine.hpp): equal-(time, rank) packet arbitrations order by
+/// (source node, per-node message counter, packet index) — a function of
+/// packet identity alone, never of scheduling history, so serial and
+/// sharded runs arbitrate contending packets identically. Nonzero by
+/// construction (src + 1), which keeps packet events distinct from plain
+/// callbacks (tie 0) at the same (time, rank). Field widths: 22 bits of
+/// node, 26 bits of message counter, 16 bits of packet index — wraps are
+/// harmless unless two contenders alias on ALL THREE at one instant.
+inline std::uint64_t packet_tie(const Packet& pkt) {
+  const std::uint64_t counter =
+      pkt.msg ? (pkt.msg->id & ((std::uint64_t{1} << 40) - 1)) : 0;
+  return (static_cast<std::uint64_t>(pkt.src + 1) << 42) |
+         ((counter & 0x3ffffff) << 16) | (pkt.seq & 0xffff);
+}
 
 }  // namespace rvma::net

@@ -151,17 +151,27 @@ void Nic::handle_delivery(Packet&& pkt) {
   // Receive pipeline: fixed per-packet processing before the protocol
   // engine (lookup, placement, counting) sees it. Packets with a reserved
   // sequence pair use its second half so the dispatch tie-break position
-  // is identical whether or not the fabric took the express path.
-  if (pkt.res_seq != net::kNoResSeq) {
-    engine_.schedule_at_seq(engine_.now() + params_.rx_proc, pkt.res_seq + 1,
+  // is identical whether or not the fabric took the express path; packets
+  // that crossed a shard boundary lost their pair but keep the serial
+  // position via a fresh sequence ranked at the injection instant.
+  const Time rank = pkt.injected_at;
+  const std::uint64_t tie = net::packet_tie(pkt);
+  if (pkt.res_seq == net::kRemoteResSeq) {
+    engine_.schedule_at_ranked(engine_.now() + params_.rx_proc, rank, tie,
+                               [this, proto, pid, pkt = std::move(pkt)]() {
+                                 dispatch_[proto][pid](pkt);
+                               });
+  } else if (pkt.res_seq != net::kNoResSeq) {
+    const std::uint64_t seq = pkt.res_seq + 1;
+    engine_.schedule_at_seq(engine_.now() + params_.rx_proc, seq, rank, tie,
                             [this, proto, pid, pkt = std::move(pkt)]() {
                               dispatch_[proto][pid](pkt);
                             });
   } else {
-    engine_.schedule(params_.rx_proc,
-                     [this, proto, pid, pkt = std::move(pkt)]() {
-                       dispatch_[proto][pid](pkt);
-                     });
+    engine_.schedule_at_ranked(engine_.now() + params_.rx_proc, rank, tie,
+                               [this, proto, pid, pkt = std::move(pkt)]() {
+                                 dispatch_[proto][pid](pkt);
+                               });
   }
 }
 

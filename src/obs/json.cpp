@@ -1,7 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -198,13 +198,21 @@ class Parser {
       }
     }
     if (pos_ == start) return fail("expected value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
+    // std::from_chars, not strtoll/strtod: locale-independent (a comma-
+    // decimal LC_NUMERIC must not change what "2.5" parses to — the
+    // byte-stability contract of rvma-metrics-v1 documents) and no errno.
+    std::string_view token = text_.substr(start, pos_ - start);
+    const char* first = token.data();
+    const char* last = token.data() + token.size();
+    // JSON proper forbids a leading '+' but this parser has always taken
+    // it; from_chars rejects it, so skip it explicitly.
+    if (first != last && *first == '+') ++first;
+    if (first == last) return fail("bad number");
     out->kind = JsonValue::Kind::kNumber;
     if (is_int) {
-      errno = 0;
-      const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (end == token.c_str() + token.size() && errno == 0) {
+      long long v = 0;
+      auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc{} && ptr == last) {
         out->integer = v;
         out->is_integer = true;
         out->number = static_cast<double>(v);
@@ -212,8 +220,8 @@ class Parser {
       }
       // Fall through to double on overflow.
     }
-    out->number = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) return fail("bad number");
+    auto [ptr, ec] = std::from_chars(first, last, out->number);
+    if (ec != std::errc{} || ptr != last) return fail("bad number");
     out->is_integer = false;
     return true;
   }

@@ -311,6 +311,8 @@ int run_figure_cli(GridSpec grid, int argc, char** argv) {
       static_cast<int>(cli.get_int("rdma-slots", grid.base.rdma_slots));
   grid.base.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(grid.base.seed)));
+  grid.base.par_shards =
+      static_cast<int>(cli.get_int("par-shards", grid.base.par_shards));
   const bool quick = cli.get_bool("quick", false);
   grid.base.express = !cli.get_bool("no-express", false);
   GridRunOptions opts;

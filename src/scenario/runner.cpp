@@ -63,7 +63,14 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   if (!resolve(spec, &cfg, &transport_entry, &motif_entry, error))
     return false;
 
-  cluster::Cluster cluster(cfg, nic::NicParams{});
+  // Sharded execution must be exact; it is incompatible with mid-run
+  // observers, so sampling or an armed trace sink clamp back to serial
+  // here (Cluster itself additionally clamps for adaptive routing, the
+  // global tracer, and zero-lookahead topologies).
+  int shards = spec.par_shards;
+  if (spec.sample_period > 0) shards = 1;
+  if (trace_sink != nullptr && trace_sink->enabled()) shards = 1;
+  cluster::Cluster cluster(cfg, nic::NicParams{}, shards);
   // Stamp the run id even when keeping the process-default sink: serial
   // grids funnel every run through Tracer::global(), and without distinct
   // "eng" fields trace analyses would mix (and double-count) the runs.
@@ -82,7 +89,7 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   const motifs::MotifResult result =
       motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
 
-  const net::FabricStats& fabric = cluster.network().fabric().stats();
+  const net::FabricStats fabric = cluster.fabric_stats();
   ScenarioResult res;
   res.makespan = result.makespan;
   res.packets_injected = fabric.packets_injected;

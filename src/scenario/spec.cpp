@@ -93,6 +93,13 @@ void append_spec_object(std::string* out, const ScenarioSpec& spec,
   out->append(in2).append("},\n");
   out->append(in2).append("\"seed\": ").append(std::to_string(spec.seed));
   out->append(",\n");
+  // Default-valued par_shards is omitted so pre-existing specs (and their
+  // golden bytes) round-trip unchanged.
+  if (spec.par_shards != 1) {
+    out->append(in2).append("\"par_shards\": ")
+        .append(std::to_string(spec.par_shards));
+    out->append(",\n");
+  }
   out->append(in2).append("\"sample_period\": ");
   append_quoted(out, canonical_duration(spec.sample_period));
   if (!spec.metrics_path.empty()) {
@@ -161,6 +168,12 @@ bool parse_spec_object(const obs::JsonValue& root, ScenarioSpec* out,
     }
   }
   if (const auto* v = root.find("seed")) spec.seed = v->as_u64(spec.seed);
+  if (const auto* v = root.find("par_shards")) {
+    spec.par_shards = static_cast<int>(
+        v->as_u64(static_cast<std::uint64_t>(spec.par_shards)));
+    if (spec.par_shards < 1)
+      return fail("scenario: par_shards must be >= 1");
+  }
   if (const auto* v = root.find("sample_period")) {
     if (!parse_duration(v->string, &spec.sample_period))
       return fail("scenario: bad sample_period \"" + v->string + "\"");
@@ -303,6 +316,10 @@ bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,
   }
   spec->seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(spec->seed)));
+  spec->par_shards =
+      static_cast<int>(cli.get_int("par-shards", spec->par_shards));
+  if (spec->par_shards < 1)
+    return fail("bad --par-shards (must be >= 1)");
   if (cli.has("sample-period")) {
     const std::string text = cli.get("sample-period", "");
     if (!parse_duration(text, &spec->sample_period))
@@ -333,9 +350,14 @@ int ParamReader::get_int(const std::string& key, int fallback) {
 double ParamReader::get_double(const std::string& key, double fallback) {
   const std::string* text = raw(key);
   if (text == nullptr) return fallback;
-  char* end = nullptr;
-  const double value = std::strtod(text->c_str(), &end);
-  if (end == text->c_str() || *end != '\0') {
+  // from_chars, not strtod: locale-independent parsing so a comma-decimal
+  // LC_NUMERIC cannot alter what a spec's "2.5" means (byte-stability).
+  const char* first = text->data();
+  const char* last = text->data() + text->size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last || first == last) {
     bad_.push_back(key);
     return fallback;
   }

@@ -55,6 +55,12 @@ struct ScenarioSpec {
 
   // ---- run ----
   std::uint64_t seed = 2021;
+  /// Parallel engine shards (conservative PDES; DESIGN.md §12). 1 runs
+  /// serial; K > 1 shards the switches over K lock-step worker engines.
+  /// Results are bit-identical either way — this knob only trades wall
+  /// clock. Clamped back to 1 whenever exact sharding is impossible
+  /// (adaptive routing, sampling, tracing, zero lookahead).
+  int par_shards = 1;
   /// Simulated-time gauge sampling period; 0 disables sampling.
   Time sample_period = 0;
 
@@ -98,7 +104,8 @@ bool looks_like_grid(const std::string& text);
 /// Overlay CLI flags onto `spec`: --name, --topology, --routing, --nodes,
 /// --bandwidth, --link-latency, --switch-latency, --xbar-factor,
 /// --concentration, --no-express/--express, --transport, --rdma-slots,
-/// --motif, --motif.<param>=<value>, --seed, --sample-period, --metrics.
+/// --motif, --motif.<param>=<value>, --seed, --par-shards,
+/// --sample-period, --metrics.
 /// Flags win over file values. Returns false with *error set on
 /// unparsable values.
 bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,

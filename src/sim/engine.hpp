@@ -7,10 +7,33 @@
 // time — so identical configs and seeds replay identically.
 //
 // Hot-path layout (see DESIGN.md "Hot path & allocation discipline"):
-// the priority queue holds 24-byte POD entries {time, seq, slot}; the
-// callbacks themselves live in page-stable slots threaded on an intrusive
-// free list. Sift operations move only PODs, callbacks are invoked in
-// place, and steady-state scheduling performs zero heap allocations.
+// the priority queue holds 32-byte POD entries {time, rank, tie, seq|slot};
+// the callbacks themselves live in page-stable slots threaded on an
+// intrusive free list. Sift operations move only PODs, callbacks are
+// invoked in place, and steady-state scheduling performs zero heap
+// allocations.
+//
+// Tie-break model: equal-time events order by (rank, tie, seq).
+//  - `rank` is the simulated instant the event was produced (its sequence
+//    number allocated or reserved). Within one engine seq allocation is
+//    monotone in simulated time, so rank refines — never contradicts —
+//    seq order.
+//  - `tie` is a content key: 0 for plain callbacks, a packet-identity key
+//    (net::packet_tie — source node, per-node message counter, packet
+//    index) for packet events. It makes equal-(time, rank) arbitration a
+//    function of WHAT is contending, not of the order the contenders were
+//    scheduled.
+//  - `seq` (the per-engine allocation counter) breaks whatever remains:
+//    same-producer callbacks run FIFO.
+// The content key is what lets the sharded scheduler
+// (sharded_engine.hpp) reproduce serial output byte for byte: a
+// cross-shard packet enters the destination engine with a fresh (large)
+// seq, but its (rank, tie) — both properties of the packet, not of the
+// schedule — land it in exactly the heap position the serial run gave
+// it. Events whose relative order still falls to seq are callback chains
+// of a single producer, and those are scheduled in the same relative
+// order in serial and sharded runs (the producers themselves execute in
+// identical order, inductively).
 #pragma once
 
 #include <cassert>
@@ -91,13 +114,25 @@ class Engine {
   /// no intermediate Callback move of the capture bytes.
   template <typename F>
   void schedule_at(Time t, F&& fn) {
-    schedule_at_seq(t, next_seq_++, std::forward<F>(fn));
+    schedule_at_seq(t, next_seq_++, now_, 0, std::forward<F>(fn));
   }
 
   /// Schedule `fn` to run `delay` after now().
   template <typename F>
   void schedule(Time delay, F&& fn) {
     schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  /// Schedule `fn` at time `t` with an explicit tie-break rank (instead
+  /// of the default now()) and content key (instead of the default 0):
+  /// among equal-time events the engine executes lower (rank, tie, seq)
+  /// first. Packet events pass rank = the instant the packet was produced
+  /// for this hop and tie = net::packet_tie, making their arbitration
+  /// order schedule-independent (see the tie-break model above).
+  template <typename F>
+  void schedule_at_ranked(Time t, Time rank, std::uint64_t tie, F&& fn) {
+    assert(rank <= t && "tie-break rank cannot postdate the event");
+    schedule_at_seq(t, next_seq_++, rank, tie, std::forward<F>(fn));
   }
 
   /// Reserve `count` consecutive sequence numbers and return the first.
@@ -111,18 +146,22 @@ class Engine {
   }
 
   /// Schedule `fn` at time `t` with an explicitly reserved sequence number
-  /// (from reserve_sequence). Each reserved number must be used at most
-  /// once; ties at equal `t` execute in sequence-number order.
+  /// (from reserve_sequence), the simulated instant that reservation was
+  /// made, and the event's content key. Each reserved number must be used
+  /// at most once; ties at equal `t` execute in (rank, tie, seq) order
+  /// (see the tie-break model in the header comment).
   template <typename F>
-  void schedule_at_seq(Time t, std::uint64_t seq, F&& fn) {
+  void schedule_at_seq(Time t, std::uint64_t seq, Time rank,
+                       std::uint64_t tie, F&& fn) {
     assert(t >= now_ && "cannot schedule events in the past");
+    assert(rank <= t && "tie-break rank cannot postdate the event");
     assert(seq < next_seq_ && "sequence number was never reserved");
     assert(seq < (std::uint64_t{1} << (64 - kSlotBits)) &&
            "sequence number overflows the packed heap key");
     const std::uint32_t idx = acquire_slot();
     assert(idx <= kSlotMask && "pending-event count overflows the slot field");
     slot(idx).fn.emplace(std::forward<F>(fn));
-    heap_push(HeapEntry{t, (seq << kSlotBits) | idx});
+    heap_push(HeapEntry{t, rank, tie, (seq << kSlotBits) | idx});
   }
 
   /// Run until the event queue drains or stop() is called.
@@ -135,7 +174,33 @@ class Engine {
   /// — the clock advances to the deadline even with pending future events,
   /// so subsequent relative schedule(delay, ...) calls are anchored at the
   /// deadline, never before it.
+  ///
+  /// If stop() fires mid-window, the clock is left at the last executed
+  /// event's time — NOT advanced to the deadline — and the stop is
+  /// consumed (the next run/run_until clears it). The sharded windowing
+  /// loop (ShardedEngine) relies on both halves: an un-stopped window
+  /// always lands every shard's clock exactly on the window edge, while a
+  /// stop leaves now() on a real event so the caller can inspect where
+  /// execution halted. Covered by Engine.RunUntilStoppedMidWindow.
   Time run_until(Time deadline);
+
+  /// Timestamp of the earliest pending event, or kTimeInfinity when the
+  /// queue is empty. The sharded scheduler's window computation reads this
+  /// across engines between windows (quiescent, single-threaded).
+  Time next_time() const {
+    return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  }
+
+  /// Advance the clock of an idle span to `t` without executing anything.
+  /// Only legal when no pending event precedes `t`; used by the sharded
+  /// scheduler's merged (serial-emulation) phase to keep every shard's
+  /// relative schedule(delay, ...) calls anchored at the global time.
+  /// Forward-only: `t` earlier than now() is ignored.
+  void sync_clock(Time t) {
+    assert((heap_.empty() || heap_.front().time >= t) &&
+           "sync_clock would skip a pending event");
+    if (t > now_) now_ = t;
+  }
 
   /// Execute at most one pending event. Returns false if queue was empty.
   bool step();
@@ -148,13 +213,18 @@ class Engine {
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  /// Priority-queue entry: 16 bytes, so the four children of a 4-ary node
-  /// span a single cache line and every sift level costs one miss instead
-  /// of two. `key` packs the FIFO tie-break sequence above the callback
-  /// slot index: seq is unique per entry, so comparing keys orders equal
-  /// timestamps exactly like comparing sequence numbers.
+  /// Priority-queue entry: 32 bytes, so the four children of a 4-ary node
+  /// span exactly two cache lines (shallower than a binary heap, and sift
+  /// levels touch at most two lines). `rank` is the event's production
+  /// instant and `tie` its content key — see the tie-break model in the
+  /// header comment. `key` packs the FIFO tie-break sequence above the
+  /// callback slot index: seq is unique per entry, so comparing keys
+  /// orders equal (time, rank, tie) tuples exactly like comparing
+  /// sequence numbers.
   struct HeapEntry {
     Time time;
+    Time rank;
+    std::uint64_t tie;  ///< content key; 0 for plain callbacks
     std::uint64_t key;  ///< (seq << kSlotBits) | slot
 
     std::uint32_t slot() const {
@@ -182,6 +252,8 @@ class Engine {
 
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.time != b.time) return a.time < b.time;
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.tie != b.tie) return a.tie < b.tie;
     return a.key < b.key;
   }
 
@@ -222,8 +294,9 @@ class Engine {
 
   HeapEntry heap_pop();
 
-  // 4-ary min-heap ordered by (time, seq): shallower than binary, and the
-  // four-child scan stays within one cache line of 24-byte entries.
+  // 4-ary min-heap ordered by (time, rank, tie, seq): shallower than
+  // binary, and the four-child scan stays within two cache lines of
+  // 32-byte entries.
   std::vector<HeapEntry> heap_;
   // Slot pages are allocated once and never move, so callbacks can be
   // invoked in place while the pool grows underneath them.

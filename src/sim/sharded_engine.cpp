@@ -1,0 +1,129 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <thread>
+
+namespace rvma::sim {
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::attach(Engine* e) {
+  assert(!windowed_ && "cannot attach a shard while windows are running");
+  engines_.push_back(e);
+  channels_.clear();
+  channels_.resize(static_cast<std::size_t>(engines_.size()) *
+                   static_cast<std::size_t>(engines_.size()));
+}
+
+void ShardedEngine::post(int src, int dst, Time when, Callback fn) {
+  assert(src >= 0 && src < num_shards() && dst >= 0 && dst < num_shards());
+  if (!windowed_) {
+    // Merged mode: every engine's clock is synced at or before the global
+    // time, and `when` is in the (possibly immediate) future — the hook
+    // can schedule on the destination engine right now.
+    assert(engines_[static_cast<std::size_t>(dst)]->now() <= when);
+    fn();
+    return;
+  }
+  Channel& ch = channels_[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(num_shards()) +
+                          static_cast<std::size_t>(dst)];
+  ch.items.push_back(Item{when, src, ch.next_fifo++, std::move(fn)});
+}
+
+void ShardedEngine::run_merged_until(const std::function<bool()>& stop_pred) {
+  assert(!windowed_);
+  while (!stop_pred()) {
+    Time t = kTimeInfinity;
+    int best = -1;
+    for (int k = 0; k < num_shards(); ++k) {
+      const Time nt = engines_[static_cast<std::size_t>(k)]->next_time();
+      if (nt < t) {
+        t = nt;
+        best = k;
+      }
+    }
+    if (best < 0) return;  // every queue drained before the predicate fired
+    // Sync every idle engine to the global frontier first, so anything the
+    // stepped event schedules on a *different* engine (via a transport's
+    // engine_for(...).schedule(delay, ...)) anchors at the same absolute
+    // time a single serial engine would have used.
+    for (auto& e : engines_) e->sync_clock(t);
+    engines_[static_cast<std::size_t>(best)]->step();
+  }
+}
+
+void ShardedEngine::drain_incoming(int k, std::vector<Item>& scratch) {
+  scratch.clear();
+  const std::size_t ks = static_cast<std::size_t>(num_shards());
+  for (std::size_t src = 0; src < ks; ++src) {
+    Channel& ch = channels_[src * ks + static_cast<std::size_t>(k)];
+    for (Item& it : ch.items) scratch.push_back(std::move(it));
+    ch.items.clear();
+  }
+  // Deterministic admission order: by event time, then source shard, then
+  // the per-channel FIFO index. Each hook immediately schedules its real
+  // event(s) on this shard's engine, so equal-time arrivals tie-break in
+  // this (run-invariant) order regardless of thread timing.
+  std::sort(scratch.begin(), scratch.end(), [](const Item& a, const Item& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.fifo < b.fifo;
+  });
+  for (Item& it : scratch) it.fn();
+}
+
+void ShardedEngine::compute_window() {
+  Time tmin = kTimeInfinity;
+  for (auto& e : engines_) tmin = std::min(tmin, e->next_time());
+  if (tmin == kTimeInfinity) {
+    done_ = true;
+    return;
+  }
+  // Conservative window: nothing executed in [tmin, tmin + lookahead - 1]
+  // can produce a cross-shard arrival before tmin + lookahead.
+  window_end_ = tmin + lookahead_;
+}
+
+Time ShardedEngine::run_windowed() {
+  assert(lookahead_ >= 1 && "windowed execution requires lookahead >= 1ps");
+  done_ = false;
+  windowed_ = true;
+
+  // Two barriers per window. `pre` orders last window's channel writes
+  // before this window's drains; `win` runs compute_window() on one
+  // thread while every worker is parked, then releases them with the new
+  // window edge (or the done flag) visible.
+  std::barrier pre(num_shards());
+  std::barrier win(num_shards(), [this]() noexcept { compute_window(); });
+
+  auto body = [&](int k) {
+    Engine& eng = *engines_[static_cast<std::size_t>(k)];
+    std::vector<Item> scratch;
+    for (;;) {
+      pre.arrive_and_wait();
+      drain_incoming(k, scratch);
+      win.arrive_and_wait();
+      if (done_) return;
+      // Strictly-exclusive window: every cross-shard arrival generated in
+      // it lands at >= window_end_, which this deadline never reaches.
+      eng.run_until(window_end_ - 1);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_shards()));
+  for (int k = 0; k < num_shards(); ++k) {
+    threads.emplace_back(body, k);
+  }
+  for (std::thread& t : threads) t.join();
+
+  windowed_ = false;
+  Time max_now = 0;
+  for (auto& e : engines_) max_now = std::max(max_now, e->now());
+  return max_now;
+}
+
+}  // namespace rvma::sim

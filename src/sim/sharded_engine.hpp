@@ -1,0 +1,115 @@
+// Sharded parallel discrete-event scheduler (conservative PDES).
+//
+// K worker Engines advance in lock-step windows whose width is the
+// minimum cross-shard link latency (the lookahead): no event executed
+// inside a window can schedule a cross-shard event that lands inside the
+// same window, so each shard may run its slice independently and the
+// inter-shard queues only need draining at window boundaries. The window
+// is half-open — workers run_until(window_end - 1), strictly before the
+// earliest possible cross-shard arrival — which removes the tie hazard of
+// an arrival landing exactly on an edge a shard already executed past.
+// See DESIGN.md §12 for the model and its bit-identity argument.
+//
+// Two execution modes:
+//  * merged (serial emulation) — one thread steps the globally earliest
+//    event across all shards while keeping every engine's clock synced to
+//    the global time, so cross-engine schedule(delay, ...) calls anchor
+//    exactly as a single serial engine would. Used for transport setup,
+//    whose handshakes ping-pong between shards with sub-lookahead logical
+//    latencies (zero-delay ready callbacks).
+//  * windowed — K threads, two barriers per window: sync, drain incoming
+//    cross-shard posts (sorted by (time, source shard, FIFO index) for
+//    determinism), then a completion step — running while all workers are
+//    blocked — computes the next window from every engine's earliest
+//    pending event. std::barrier's release sequence gives the unsynchronized
+//    single-producer/single-consumer channels their happens-before edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/engine.hpp"
+
+namespace rvma::sim {
+
+class ShardedEngine {
+ public:
+  /// Non-owning: the caller (cluster::Cluster) owns the worker Engines —
+  /// their count depends on the topology, which is only known after the
+  /// first engine's network is built. Attach all engines before any run.
+  ShardedEngine() = default;
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void attach(Engine* e);
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  Engine& shard(int k) { return *engines_[static_cast<std::size_t>(k)]; }
+
+  /// Conservative lookahead: the minimum latency of any cross-shard link.
+  /// Must be >= 1 (one picosecond) before run_windowed(); a topology with
+  /// zero cross-shard latency cannot be sharded conservatively.
+  void set_lookahead(Time la) { lookahead_ = la; }
+  Time lookahead() const { return lookahead_; }
+
+  /// Post work onto shard `dst` from shard `src`. `fn` runs on the
+  /// destination shard's thread with its engine clock <= `when` and must
+  /// itself schedule the real event(s) at `when` (e.g. by calling
+  /// Fabric::receive_remote). In merged mode fn runs immediately — every
+  /// clock is already synced at or before `when`. In windowed mode it is
+  /// queued and runs at the next window boundary; the conservative window
+  /// guarantees `when` >= the destination's clock at that point.
+  void post(int src, int dst, Time when, Callback fn);
+
+  /// Merged (serial-emulation) phase: repeatedly execute the globally
+  /// earliest pending event (ties broken by lowest shard index), keeping
+  /// every engine's clock synced to the global time, until `stop_pred`
+  /// returns true or every queue drains. Single-threaded.
+  void run_merged_until(const std::function<bool()>& stop_pred);
+
+  /// Windowed parallel phase: run all shards to completion on
+  /// num_shards() threads. Requires set_lookahead() >= 1. Returns the
+  /// maximum engine time across shards.
+  Time run_windowed();
+
+  bool windowed() const { return windowed_; }
+
+ private:
+  struct Item {
+    Time when = 0;
+    std::int32_t src = -1;
+    std::uint64_t fifo = 0;
+    Callback fn;
+  };
+  /// One single-producer/single-consumer queue per (src, dst) shard pair.
+  /// Written only by src's worker during its window, read only by dst's
+  /// worker during drain; the window barriers order the two. Padded so
+  /// producers on different shards never share a cache line.
+  struct alignas(64) Channel {
+    std::vector<Item> items;
+    std::uint64_t next_fifo = 0;
+  };
+
+  void worker(int k);
+  void drain_incoming(int k, std::vector<Item>& scratch);
+  /// Barrier completion: runs on exactly one thread while all workers are
+  /// blocked. Computes the next window edge or flags completion.
+  void compute_window();
+
+  std::vector<Engine*> engines_;   ///< non-owning, attach() order = shard id
+  std::vector<Channel> channels_;  ///< [src * K + dst]
+  Time lookahead_ = 0;
+  bool windowed_ = false;
+
+  // Written only by compute_window() (single thread, all others blocked
+  // in the barrier); the barrier's release gives readers happens-before.
+  Time window_end_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace rvma::sim

@@ -1,6 +1,8 @@
 // Unit tests for src/common: units, RNG, statistics, table, CLI.
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cstdio>
 #include <set>
 
 #include "common/cli.hpp"
@@ -8,6 +10,7 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/json.hpp"
 
 namespace rvma {
 namespace {
@@ -302,6 +305,102 @@ TEST(UnitParse, CanonicalRoundTrip) {
     EXPECT_EQ(back, bw) << s;
     EXPECT_EQ(canonical_bandwidth(back), s);
   }
+}
+
+TEST(UnitParse, ExponentFormsAndOverflowBoundaries) {
+  Time t = 0;
+  // Exponent forms take the double fallback path and still land exactly.
+  EXPECT_TRUE(parse_duration("1e3us", &t));
+  EXPECT_EQ(t, 1000 * kMicrosecond);
+  EXPECT_TRUE(parse_duration("2.5e2ns", &t));
+  EXPECT_EQ(t, 250'000u);
+
+  // Digits-only values survive verbatim past the 53-bit double mantissa...
+  std::uint64_t s = 0;
+  EXPECT_TRUE(parse_size("18446744073709551615", &s));  // UINT64_MAX
+  EXPECT_EQ(s, UINT64_MAX);
+  // ...and overflow is rejected, not silently rounded back into range:
+  // 2^64 rounds to exactly kTwoPow64 as a double, the boundary case.
+  s = 7;
+  EXPECT_FALSE(parse_size("18446744073709551616", &s));  // 2^64
+  EXPECT_FALSE(parse_size("99999999999999999999", &s));
+  EXPECT_FALSE(parse_size("20000000000GiB", &s));  // unit multiply overflows
+  EXPECT_EQ(s, 7u);
+
+  // Fractional results that do not scale to an integral count of base
+  // units are rejected (no hidden rounding).
+  EXPECT_FALSE(parse_duration("1.0000001ps", &t));
+}
+
+TEST(Cli, MalformedDoubleFailsLoud) {
+  // get_double used to fall back to strtod semantics: "2,5" parsed as 2
+  // with trailing garbage ignored. Now any non-numeric remainder exits
+  // with a diagnostic rather than silently truncating.
+  auto parse = [](const char* val) {
+    const char* argv[] = {"prog", val};
+    Cli cli(2, argv);
+    cli.get_double("x", 0.0);
+    std::exit(0);  // not reached for malformed values
+  };
+  EXPECT_EXIT(parse("--x=2,5"), ::testing::ExitedWithCode(2), "numeric");
+  EXPECT_EXIT(parse("--x=abc"), ::testing::ExitedWithCode(2), "numeric");
+  EXPECT_EXIT(parse("--x=2.5e"), ::testing::ExitedWithCode(2), "numeric");
+  EXPECT_EXIT(parse("--x="), ::testing::ExitedWithCode(2), "numeric");
+  EXPECT_EXIT(parse("--x=1.5"), ::testing::ExitedWithCode(0), "");
+  EXPECT_EXIT(parse("--x=+1.5"), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(LocaleDeterminism, CommaDecimalLocaleRoundTrips) {
+  // Under a comma-decimal LC_NUMERIC, strtod("2.5") stops at the dot and
+  // printf("%g") emits "2,5" — which is how figure JSON written on one
+  // machine failed to parse on another. Every parse/format path now uses
+  // locale-independent from_chars/to_chars; this test pins that by
+  // running the full round trip with the comma locale active.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                              "fr_FR.utf8",  "nl_NL.UTF-8"};
+  const char* saved = std::setlocale(LC_ALL, nullptr);
+  const std::string restore = saved ? saved : "C";
+  const char* active = nullptr;
+  for (const char* name : candidates) {
+    if (std::setlocale(LC_ALL, name) != nullptr) {
+      active = name;
+      break;
+    }
+  }
+  if (active == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  // Confirm the locale really uses a comma before trusting the test.
+  char probe[32];
+  std::snprintf(probe, sizeof probe, "%.1f", 2.5);
+  if (std::string(probe) != "2,5") {
+    std::setlocale(LC_ALL, restore.c_str());
+    GTEST_SKIP() << active << " does not use comma decimals here";
+  }
+
+  Time t = 0;
+  EXPECT_TRUE(parse_duration("2.5us", &t));
+  EXPECT_EQ(t, 2'500'000u);
+
+  Bandwidth bw;
+  EXPECT_TRUE(parse_bandwidth("0.5Gbps", &bw));
+  EXPECT_DOUBLE_EQ(bw.bits_per_sec, 5e8);
+  EXPECT_EQ(canonical_bandwidth(Bandwidth::gbps(0.5)), "500Mbps");
+  EXPECT_EQ(canonical_bandwidth(Bandwidth(1.5)), "1.5bps");  // dot, not comma
+
+  const char* argv[] = {"prog", "--x=2.5"};
+  Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0.0), 2.5);
+
+  // JSON numbers: parse and re-serialize with the comma locale active.
+  obs::JsonValue v;
+  std::string error;
+  ASSERT_TRUE(obs::json_parse("{\"lat\": 2.5e-3}", &v, &error)) << error;
+  const obs::JsonValue* lat = v.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->as_double(), 2.5e-3);
+
+  std::setlocale(LC_ALL, restore.c_str());
 }
 
 }  // namespace

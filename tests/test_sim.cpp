@@ -139,10 +139,35 @@ TEST(Engine, ReservedSequencesPinTieBreakOrder) {
   // Scheduled later, but sequences reserved earlier: at an equal timestamp
   // the reserved events must run before this one.
   e.schedule_at(100, [&] { order.push_back(3); });
-  e.schedule_at_seq(100, base + 1, [&] { order.push_back(2); });
-  e.schedule_at_seq(100, base, [&] { order.push_back(1); });
+  e.schedule_at_seq(100, base + 1, e.now(), 0, [&] { order.push_back(2); });
+  e.schedule_at_seq(100, base, e.now(), 0, [&] { order.push_back(1); });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilStoppedMidWindow) {
+  // run_until's stop contract (engine.hpp): an un-stopped window advances
+  // the clock exactly to the deadline; a stop() mid-window leaves now()
+  // on the last executed event and is consumed by the next run call.
+  Engine e;
+  std::vector<Time> fired;
+  e.schedule_at(10, [&] { fired.push_back(e.now()); });
+  e.schedule_at(20, [&] {
+    fired.push_back(e.now());
+    e.stop();
+  });
+  e.schedule_at(30, [&] { fired.push_back(e.now()); });
+
+  EXPECT_EQ(e.run_until(40), 20u);  // stopped: clock stays on the event
+  EXPECT_EQ(e.now(), 20u);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+
+  // The stop was consumed: the next window runs normally and, with no
+  // event at the deadline, still lands the clock exactly on the edge.
+  EXPECT_EQ(e.run_until(35), 35u);
+  EXPECT_EQ(e.now(), 35u);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20, 30}));
+  EXPECT_TRUE(e.empty());
 }
 
 TEST(Engine, SteadyStateSchedulingReusesSlots) {

@@ -159,5 +159,38 @@ then
 fi
 echo "express: table and metrics byte-identical with and without the fast path"
 
+# --- Sharded-engine exactness gate --------------------------------------
+# The PDES path (--par-shards=K) must be a pure wall-clock optimization
+# too: replaying the same grid with 8 shards per cell must print an
+# identical table and produce an identical metrics document
+# (DESIGN.md §12). The per-cell engine-event lines and the engine.events
+# instrument are filtered — sharded runs execute extra window-boundary
+# bookkeeping events; every simulated observable must match.
+echo "pdes: sharded replay (--par-shards=8)"
+"$build_dir/tools/rvma_run" "$tmp_dir/fig8_grid.json" --jobs=1 \
+  --par-shards=8 \
+  --metrics="$tmp_dir/pdes_metrics.json" > "$tmp_dir/pdes.txt"
+for f in scenario pdes; do
+  grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+    "$tmp_dir/$f.txt" | grep -v 'engine events' \
+    > "$tmp_dir/${f}_pdes_table.txt"
+done
+grep -v 'engine.events' "$tmp_dir/scenario_metrics.json" \
+  > "$tmp_dir/serial_pdes_metrics.json"
+grep -v 'engine.events' "$tmp_dir/pdes_metrics.json" \
+  > "$tmp_dir/sharded_pdes_metrics.json"
+if ! diff -u "$tmp_dir/scenario_pdes_table.txt" "$tmp_dir/pdes_pdes_table.txt"
+then
+  echo "ERROR: --par-shards=8 changed the rvma_run table" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp_dir/serial_pdes_metrics.json" \
+  "$tmp_dir/sharded_pdes_metrics.json"
+then
+  echo "ERROR: --par-shards=8 changed the metrics document" >&2
+  exit 1
+fi
+echo "pdes: table and metrics byte-identical at par-shards=1 and 8"
+
 cat "$tmp_dir/parallel.txt"
 echo "wrote $repo_root/BENCH_sweep.json"

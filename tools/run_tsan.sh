@@ -8,9 +8,11 @@
 # (static next-hop cache), the NIC admission/drain path, and the
 # express-exactness tests (whose mini-grid runs express and hop-by-hop
 # fabrics concurrently across worker threads — the pooled non-atomic
-# message refcount must stay engine-local), and the scenario-layer tests
+# message refcount must stay engine-local), the scenario-layer tests
 # (registry materialization plus the rvma_run grid replay, which fans
-# cells out over the executor).
+# cells out over the executor), and the PDES tests (the ShardedEngine's
+# window barriers, cross-shard SPSC channels, and the windowed-vs-serial
+# exactness runs, which exercise the full multi-threaded shard path).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -22,11 +24,11 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
 cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs test_scenario \
+  test_express_exactness test_nic test_obs test_scenario test_pdes \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs test_scenario
+  test_express_exactness test_nic test_obs test_scenario test_pdes
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"

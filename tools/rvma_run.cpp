@@ -36,9 +36,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: rvma_run --list\n"
                "       rvma_run <scenario.json> [--nodes=N --transport=T "
-               "--motif.<k>=<v> ...] [--print]\n"
-               "       rvma_run <grid.json> [--jobs=N --quick --json=PATH "
-               "--metrics=PATH]\n");
+               "--motif.<k>=<v> --par-shards=K ...] [--print]\n"
+               "       rvma_run <grid.json> [--jobs=N --par-shards=K --quick "
+               "--json=PATH --metrics=PATH]\n");
   return 2;
 }
 
