@@ -22,6 +22,7 @@
 #include <new>
 #include <vector>
 
+#include "common/rss.hpp"
 #include "net/topology.hpp"
 #include "cluster/cluster.hpp"
 #include "motifs/halo3d.hpp"
@@ -302,6 +303,62 @@ std::vector<ShardRow> bench_pdes_shards() {
   return rows;
 }
 
+struct PaperScaleRow {
+  double construct_seconds = 0;  ///< Cluster build: wiring + routes + NICs
+  double sim_seconds = 0;        ///< halo3d motif execution
+  std::size_t route_table_bytes = 0;
+  std::size_t peak_rss_bytes = 0;  ///< process VmHWM after this row ran
+  double packets_per_sec = 0;
+  std::uint64_t packets = 0;
+  rvma::Time makespan = 0;
+};
+
+/// Paper-scale (8,192-rank) torus halo exchange, once per route-table
+/// mode. Construction time is reported separately from simulation time —
+/// the materialized ablation pays an O(S*N) table build (67M oracle route
+/// calls at this scale) that the algebraic mode skips entirely. The two
+/// modes must agree on the makespan bit-for-bit; a mismatch aborts.
+PaperScaleRow bench_paper_scale(rvma::net::RouteTable mode) {
+  namespace net = rvma::net;
+  namespace nic = rvma::nic;
+  using rvma::cluster::Cluster;
+  using rvma::motifs::build_halo3d;
+  using rvma::motifs::Halo3DConfig;
+  using rvma::motifs::MotifRunner;
+  using rvma::motifs::RvmaTransport;
+
+  net::NetworkConfig cfg;
+  cfg.topology = net::TopologyKind::kTorus3D;
+  cfg.routing = net::Routing::kStatic;
+  cfg.nodes_hint = 8192;
+  cfg.seed = 11;
+  cfg.route_table = mode;
+
+  Halo3DConfig halo;
+  halo.px = 32;
+  halo.py = 16;
+  halo.pz = 16;  // 8192 ranks
+  halo.nx = halo.ny = halo.nz = 4;
+  halo.iterations = 1;
+  halo.compute_per_cell = 0;
+
+  PaperScaleRow row;
+  const auto t0 = std::chrono::steady_clock::now();
+  Cluster cluster(cfg, nic::NicParams{});
+  row.construct_seconds = seconds_since(t0);
+  row.route_table_bytes = cluster.route_table_bytes();
+
+  RvmaTransport transport(cluster, rvma::core::RvmaParams{});
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto result = MotifRunner(cluster, transport, build_halo3d(halo)).run();
+  row.sim_seconds = seconds_since(t1);
+  row.makespan = result.makespan;
+  row.packets = cluster.fabric_stats().packets_delivered;
+  row.packets_per_sec = static_cast<double>(row.packets) / row.sim_seconds;
+  row.peak_rss_bytes = rvma::peak_rss_bytes();
+  return row;
+}
+
 // Pre-rewrite numbers, measured on the seed engine (commit d9148ab:
 // std::function callbacks, std::priority_queue events, unordered_map NIC
 // dispatch, per-packet fabric injection) with exactly this benchmark on
@@ -328,6 +385,18 @@ int main(int argc, char** argv) {
   const FabricStatsOut incast_hop =
       bench_fabric(20'000, 64 * 1024, Pattern::kIncast, false);
   const std::vector<ShardRow> shards = bench_pdes_shards();
+  const PaperScaleRow paper_alg =
+      bench_paper_scale(rvma::net::RouteTable::kAlgebraic);
+  const PaperScaleRow paper_lut =
+      bench_paper_scale(rvma::net::RouteTable::kMaterialized);
+  if (paper_alg.makespan != paper_lut.makespan) {
+    std::fprintf(stderr,
+                 "ERROR: paper-scale makespan differs: algebraic %llu != "
+                 "materialized %llu\n",
+                 static_cast<unsigned long long>(paper_alg.makespan),
+                 static_cast<unsigned long long>(paper_lut.makespan));
+    return 1;
+  }
 
   const double speedup = chain.events_per_sec / kBaselineChainEventsPerSec;
   const double express_speedup =
@@ -354,6 +423,15 @@ int main(int argc, char** argv) {
         "makespan %llu ps\n",
         row.shards, row.effective, row.wall_seconds, row.speedup,
         static_cast<unsigned long long>(row.makespan));
+  }
+  for (const PaperScaleRow* row : {&paper_alg, &paper_lut}) {
+    std::printf(
+        "8192-node torus (%s): construct %.2fs, simulate %.2fs, "
+        "%.2fM packets/s, route table %.1f MiB, peak rss %.0f MiB\n",
+        row == &paper_alg ? "algebraic" : "materialized",
+        row->construct_seconds, row->sim_seconds, row->packets_per_sec / 1e6,
+        static_cast<double>(row->route_table_bytes) / (1024.0 * 1024.0),
+        static_cast<double>(row->peak_rss_bytes) / (1024.0 * 1024.0));
   }
   std::printf("speedup vs seed baseline (chain): %.2fx\n", speedup);
 
@@ -408,11 +486,30 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(row.makespan),
                  i + 1 < shards.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"paper_scale_8192\": {\n");
+  for (const PaperScaleRow* row : {&paper_alg, &paper_lut}) {
+    std::fprintf(f,
+                 "    \"%s\": {\"construct_seconds\": %.3f, "
+                 "\"sim_seconds\": %.3f, \"packets_per_sec\": %.0f, "
+                 "\"route_table_bytes\": %llu, \"peak_rss_bytes\": %llu, "
+                 "\"makespan_ps\": %llu},\n",
+                 row == &paper_alg ? "algebraic" : "materialized",
+                 row->construct_seconds, row->sim_seconds,
+                 row->packets_per_sec,
+                 static_cast<unsigned long long>(row->route_table_bytes),
+                 static_cast<unsigned long long>(row->peak_rss_bytes),
+                 static_cast<unsigned long long>(row->makespan));
+  }
+  std::fprintf(
+      f, "    \"route_table_bytes_reduction\": %.0f\n  },\n",
+      static_cast<double>(paper_lut.route_table_bytes) /
+          static_cast<double>(paper_alg.route_table_bytes + 1));
   std::fprintf(f,
-               "  ],\n"
+               "  \"peak_rss_bytes\": %llu,\n"
                "  \"speedup_chain_events_per_sec\": %.3f,\n"
                "  \"speedup_fabric_express_vs_noexpress\": %.3f\n"
                "}\n",
+               static_cast<unsigned long long>(rvma::peak_rss_bytes()),
                speedup, express_speedup);
   std::fclose(f);
   std::printf("wrote %s\n", out_path);

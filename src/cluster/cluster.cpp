@@ -2,11 +2,35 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 
 #include "common/log.hpp"
 #include "common/trace.hpp"
 
 namespace rvma::cluster {
+
+Cluster::NicSlab::NicSlab(std::size_t capacity) : capacity_(capacity) {
+  slots_ = static_cast<nic::Nic*>(::operator new(
+      capacity * sizeof(nic::Nic), std::align_val_t{alignof(nic::Nic)}));
+}
+
+Cluster::NicSlab::~NicSlab() {
+  for (std::size_t i = count_; i > 0; --i) {
+    slots_[i - 1].~Nic();
+  }
+  ::operator delete(slots_, std::align_val_t{alignof(nic::Nic)});
+}
+
+nic::Nic* Cluster::NicSlab::emplace(sim::Engine& engine, net::Network& network,
+                                    net::NodeId node,
+                                    const nic::NicParams& params,
+                                    obs::MetricsRegistry* metrics) {
+  assert(count_ < capacity_ && "NIC slab overflow");
+  nic::Nic* nic =
+      new (slots_ + count_) nic::Nic(engine, network, node, params, metrics);
+  ++count_;
+  return nic;
+}
 
 Cluster::Cluster(const net::NetworkConfig& net_config,
                  const nic::NicParams& nic_params, int par_shards) {
@@ -55,13 +79,15 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
     // exactly — fall back to serial.
     Time la = kTimeInfinity;
     for (int sw = 0; sw < num_sw; ++sw) {
-      for (const net::Port& p : f0.switch_at(sw).ports) {
-        if (p.peer_switch < 0) continue;
+      const int ports = f0.switch_num_ports(sw);
+      for (int p = 0; p < ports; ++p) {
+        const std::int32_t peer = f0.port_peer_switch(sw, p);
+        if (peer < 0) continue;
         if (shard_of_switch[static_cast<std::size_t>(sw)] ==
-            shard_of_switch[static_cast<std::size_t>(p.peer_switch)]) {
+            shard_of_switch[static_cast<std::size_t>(peer)]) {
           continue;
         }
-        la = std::min(la, p.link.latency);
+        la = std::min(la, f0.port_link(sw, p).latency);
       }
     }
     if (la == 0 || la == kTimeInfinity) {
@@ -121,10 +147,12 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
 
   // One NIC per node, living on the shard that owns its switch: delivery
   // and the express-rx hook register only there, so a packet reaching its
-  // ejection switch is always on the right shard.
+  // ejection switch is always on the right shard. NICs are arena-allocated
+  // per shard: resolve every node's shard first, size one slab per shard,
+  // then placement-construct in node order.
   const int n = s0.network->num_nodes();
   shard_of_node_.resize(static_cast<std::size_t>(n), 0);
-  nics_.reserve(static_cast<std::size_t>(n));
+  std::vector<std::size_t> shard_nics(static_cast<std::size_t>(k), 0);
   for (net::NodeId node = 0; node < n; ++node) {
     int s = 0;
     if (k > 1) {
@@ -132,9 +160,20 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
     }
     shard_of_node_[static_cast<std::size_t>(node)] =
         static_cast<std::int32_t>(s);
-    Shard& sh = *shards_[static_cast<std::size_t>(s)];
-    nics_.push_back(std::make_unique<nic::Nic>(sh.engine, *sh.network, node,
-                                               nic_params, &sh.metrics));
+    ++shard_nics[static_cast<std::size_t>(s)];
+  }
+  nic_slabs_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    nic_slabs_.push_back(
+        std::make_unique<NicSlab>(shard_nics[static_cast<std::size_t>(s)]));
+  }
+  nics_.reserve(static_cast<std::size_t>(n));
+  for (net::NodeId node = 0; node < n; ++node) {
+    const std::size_t s =
+        static_cast<std::size_t>(shard_of_node_[static_cast<std::size_t>(node)]);
+    Shard& sh = *shards_[s];
+    nics_.push_back(nic_slabs_[s]->emplace(sh.engine, *sh.network, node,
+                                           nic_params, &sh.metrics));
   }
 
   if (!sharded()) {
@@ -157,8 +196,7 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
       // unit.
       return shards_[0]->network->fabric().current_port_backlog_max_ns();
     });
-    for (const auto& nic : nics_) {
-      nic::Nic* raw = nic.get();
+    for (nic::Nic* raw : nics_) {
       sampler_->add_gauge("nic.tx_queue_depth",
                           [raw] { return raw->tx_queue_depth(); });
     }
@@ -186,6 +224,14 @@ void Cluster::enable_sampling(Time period) {
   assert(!sharded() && "sampling requires a serial (one-shard) cluster");
   sampler_->enable(period);
   shards_[0]->engine.set_sampler(sampler_.get());
+}
+
+std::size_t Cluster::route_table_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& sh : shards_) {
+    bytes += sh->network->fabric().route_table_bytes();
+  }
+  return bytes;
 }
 
 net::FabricStats Cluster::fabric_stats() const {

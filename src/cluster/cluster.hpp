@@ -72,6 +72,11 @@ class Cluster {
   /// max_port_backlog maxed. Equals network().fabric().stats() when serial.
   net::FabricStats fabric_stats() const;
 
+  /// Static-routing state resident bytes summed across shards (each shard
+  /// replicates the Network): 0 under algebraic routing, K * S * N * 4
+  /// under the materialized LUT ablation.
+  std::size_t route_table_bytes() const;
+
   /// The cluster-wide instrument registry every layer records into
   /// (shard 0's registry when sharded — use collect_metrics() for totals).
   obs::MetricsRegistry& metrics() { return shards_[0]->metrics; }
@@ -100,10 +105,34 @@ class Cluster {
     std::unique_ptr<net::Network> network;
   };
 
+  /// Arena of one shard's NICs: a single aligned allocation holding all of
+  /// the shard's Nic objects contiguously (placement-new in node order,
+  /// destroyed in reverse). A NIC is ~memory-heavy per-node state; packing
+  /// a shard's NICs into one block replaces N individual heap allocations
+  /// and keeps neighbor NICs on shared cache lines during event bursts.
+  class NicSlab {
+   public:
+    explicit NicSlab(std::size_t capacity);
+    ~NicSlab();
+    NicSlab(const NicSlab&) = delete;
+    NicSlab& operator=(const NicSlab&) = delete;
+    nic::Nic* emplace(sim::Engine& engine, net::Network& network,
+                      net::NodeId node, const nic::NicParams& params,
+                      obs::MetricsRegistry* metrics);
+
+   private:
+    nic::Nic* slots_ = nullptr;
+    std::size_t capacity_ = 0;
+    std::size_t count_ = 0;
+  };
+
   sim::ShardedEngine sharded_;  ///< non-owning view over shard engines
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::int32_t> shard_of_node_;
-  std::vector<std::unique_ptr<nic::Nic>> nics_;
+  /// Declared after shards_ so the NICs (which hold references into their
+  /// shard's engine/network/registry) are destroyed first.
+  std::vector<std::unique_ptr<NicSlab>> nic_slabs_;  ///< one per shard
+  std::vector<nic::Nic*> nics_;  ///< node -> NIC, non-owning (slab storage)
   std::unique_ptr<obs::Sampler> sampler_;  ///< serial clusters only
   Time lookahead_ = 0;
 };

@@ -1,0 +1,27 @@
+#include "common/rss.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rvma {
+
+std::size_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  std::size_t kib = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:      123456 kB" — the kernel always reports kB here.
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + 6, "%llu", &v) == 1) {
+        kib = static_cast<std::size_t>(v);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+}  // namespace rvma

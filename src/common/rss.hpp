@@ -1,0 +1,13 @@
+// Process peak-RSS probe for benchmark and timing reports.
+#pragma once
+
+#include <cstddef>
+
+namespace rvma {
+
+/// High-water resident set size of this process in bytes (Linux VmHWM
+/// from /proc/self/status). Returns 0 on platforms without procfs — the
+/// reports that consume this print 0 rather than failing.
+std::size_t peak_rss_bytes();
+
+}  // namespace rvma

@@ -26,12 +26,19 @@ DragonflyTopology::DragonflyTopology(const NetworkConfig& config)
 void DragonflyTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int total_switches = groups_ * a_;
+  // Pass 1 — one switch at a time, in id order, with ALL of its ports
+  // (a-1 local, then h global, then p ejection links): the fabric's SoA
+  // port arrays require per-switch contiguous blocks. Local port
+  // numbering is unchanged from the pre-SoA builder.
   for (int sw = 0; sw < total_switches; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
-    // a-1 local ports then h global ports; node ports appended below.
     for (int p = 0; p < a_ - 1 + h_; ++p) fabric.add_port(sw, config_.link);
+    for (int n = 0; n < p_; ++n) {
+      fabric.attach_node(sw, sw * p_ + n, config_.link);
+    }
   }
 
+  // Pass 2 — wiring only (no port creation).
   for (int g = 0; g < groups_; ++g) {
     // Local all-to-all within the group.
     for (int s = 0; s < a_; ++s) {
@@ -51,18 +58,15 @@ void DragonflyTopology::build(Fabric& fabric) {
                      switch_id(target_group, back / h_), global_port(back));
     }
   }
-
-  for (int g = 0; g < groups_; ++g) {
-    for (int s = 0; s < a_; ++s) {
-      for (int n = 0; n < p_; ++n) {
-        const NodeId node = (g * a_ + s) * p_ + n;
-        fabric.attach_node(switch_id(g, s), node, config_.link);
-      }
-    }
-  }
 }
 
-int DragonflyTopology::minimal_port(Fabric& fabric, int sw, int dst_sw) const {
+TopologyFootprint DragonflyTopology::footprint() const {
+  const int switches = groups_ * a_;
+  return TopologyFootprint{switches, switches * (a_ - 1 + h_),
+                           switches * p_};
+}
+
+int DragonflyTopology::minimal_port(int sw, int dst_sw) const {
   const int g = group_of_switch(sw);
   const int dg = group_of_switch(dst_sw);
   const int s = sw % a_;
@@ -72,8 +76,13 @@ int DragonflyTopology::minimal_port(Fabric& fabric, int sw, int dst_sw) const {
   const int l = link_to_group(g, dg);
   const int gateway = l / h_;
   if (s == gateway) return global_port(l);
-  (void)fabric;
   return local_port(s, gateway);
+}
+
+int DragonflyTopology::static_next_hop(int sw, NodeId dst) const {
+  // Minimal local-global-local; dst's switch is dst / p_ (nodes are
+  // attached in switch-id order).
+  return minimal_port(sw, static_cast<int>(dst) / p_);
 }
 
 int DragonflyTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
@@ -83,12 +92,12 @@ int DragonflyTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
   const int dg = group_of_switch(dst_sw);
 
   if (mode == Routing::kStatic) {
-    return minimal_port(fabric, sw, dst_sw);
+    return minimal_port(sw, dst_sw);
   }
 
   // UGAL-lite: decide minimal vs Valiant at the injection switch only.
   if (pkt.hops == 1 && pkt.rt_aux == -1 && g != dg && groups_ > 2) {
-    const int min_port = minimal_port(fabric, sw, dst_sw);
+    const int min_port = minimal_port(sw, dst_sw);
     // Candidate intermediate group, uniformly among "others".
     int vg = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(groups_)));
     if (vg == g || vg == dg) vg = -1;
@@ -123,7 +132,7 @@ int DragonflyTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
     }
   }
 
-  return minimal_port(fabric, sw, dst_sw);
+  return minimal_port(sw, dst_sw);
 }
 
 }  // namespace rvma::net

@@ -46,38 +46,61 @@ FabricStats Fabric::stats() const {
 Time Fabric::current_port_backlog_max() const {
   const Time now = engine_.now();
   Time worst = 0;
-  for (const Switch& s : switches_) {
-    for (const Port& p : s.ports) {
-      if (p.busy_until > now) worst = std::max(worst, p.busy_until - now);
-    }
+  for (const Time busy : port_busy_) {
+    if (busy > now) worst = std::max(worst, busy - now);
   }
   for (const NodeAttach& at : node_attach_) {
-    const Time busy = at.injection.busy_until;
-    if (busy > now) worst = std::max(worst, busy - now);
+    if (at.inj_busy > now) worst = std::max(worst, at.inj_busy - now);
   }
   return worst;
 }
 
+void Fabric::reserve(int switches, int ports, int nodes) {
+  switches_.reserve(static_cast<std::size_t>(switches));
+  const std::size_t total =
+      static_cast<std::size_t>(ports) + static_cast<std::size_t>(nodes);
+  port_busy_.reserve(total);
+  port_xuntil_.reserve(total);
+  port_link_.reserve(total);
+  port_peer_sw_.reserve(total);
+  port_peer_node_.reserve(total);
+  node_attach_.reserve(static_cast<std::size_t>(nodes));
+}
+
 int Fabric::add_switch(Time latency, Bandwidth xbar_bw) {
-  switches_.push_back(Switch{latency, xbar_bw, {}});
+  Switch s;
+  s.latency = latency;
+  s.xbar_bw = xbar_bw;
+  s.port_base = static_cast<std::int32_t>(port_link_.size());
+  s.num_ports = 0;
+  switches_.push_back(s);
   return static_cast<int>(switches_.size()) - 1;
 }
 
 int Fabric::add_port(int sw, LinkParams link) {
-  auto& ports = switches_[sw].ports;
-  ports.push_back(Port{link});
-  return static_cast<int>(ports.size()) - 1;
+  Switch& s = switches_[sw];
+  // Ports are SoA-contiguous per switch: a switch's block must still sit
+  // at the tail of the arrays when a port is appended to it.
+  assert(static_cast<std::size_t>(s.port_base + s.num_ports) ==
+             port_link_.size() &&
+         "ports must be added switch-by-switch in id order");
+  port_busy_.push_back(0);
+  port_xuntil_.push_back(0);
+  port_link_.push_back(link);
+  port_peer_sw_.push_back(-1);
+  port_peer_node_.push_back(-1);
+  return s.num_ports++;
 }
 
 void Fabric::connect(int sw_a, int port_a, int sw_b, int port_b) {
-  Port& a = switches_[sw_a].ports[port_a];
-  Port& b = switches_[sw_b].ports[port_b];
-  assert(a.peer_switch == -1 && a.peer_node == -1 && "port already wired");
-  assert(b.peer_switch == -1 && b.peer_node == -1 && "port already wired");
-  a.peer_switch = sw_b;
-  a.peer_port = port_b;
-  b.peer_switch = sw_a;
-  b.peer_port = port_a;
+  const std::size_t a = pid(sw_a, port_a);
+  const std::size_t b = pid(sw_b, port_b);
+  assert(port_peer_sw_[a] == -1 && port_peer_node_[a] == -1 &&
+         "port already wired");
+  assert(port_peer_sw_[b] == -1 && port_peer_node_[b] == -1 &&
+         "port already wired");
+  port_peer_sw_[a] = sw_b;
+  port_peer_sw_[b] = sw_a;
 }
 
 int Fabric::attach_node(int sw, NodeId node, LinkParams link) {
@@ -87,10 +110,11 @@ int Fabric::attach_node(int sw, NodeId node, LinkParams link) {
   NodeAttach& at = node_attach_[node];
   assert(at.sw == -1 && "node attached twice");
   const int port = add_port(sw, link);
-  switches_[sw].ports[port].peer_node = node;
+  port_peer_node_[pid(sw, port)] = node;
   at.sw = sw;
   at.port = port;
-  at.injection = Port{link, sw, port};
+  at.inj_link = link;
+  at.inj_busy = 0;
   return port;
 }
 
@@ -109,6 +133,18 @@ void Fabric::set_static_routes(std::vector<std::int32_t> table) {
   assert(table.empty() ||
          table.size() == switches_.size() * node_attach_.size());
   static_routes_ = std::move(table);
+  next_hop_fn_ = nullptr;
+  next_hop_ctx_ = nullptr;
+  static_mode_ = !static_routes_.empty();
+}
+
+void Fabric::set_algebraic_routes(NextHopFn fn, const void* ctx) {
+  assert(fn != nullptr);
+  static_routes_.clear();
+  static_routes_.shrink_to_fit();
+  next_hop_fn_ = fn;
+  next_hop_ctx_ = ctx;
+  static_mode_ = true;
 }
 
 void Fabric::set_shard_map(int my_shard,
@@ -137,13 +173,13 @@ void Fabric::receive_remote(int sw, Time arrival, Time rank, Packet&& pkt) {
 }
 
 Time Fabric::port_backlog(int sw, int port) const {
-  const Time busy = switches_[sw].ports[port].busy_until;
+  const Time busy = port_busy_[pid(sw, port)];
   const Time now = engine_.now();
   return busy > now ? busy - now : 0;
 }
 
 Time Fabric::injection_backlog(NodeId node) const {
-  const Time busy = node_attach_[node].injection.busy_until;
+  const Time busy = node_attach_[node].inj_busy;
   const Time now = engine_.now();
   return busy > now ? busy - now : 0;
 }
@@ -191,14 +227,13 @@ void Fabric::inject(Packet&& pkt) {
                {"bytes", pkt.bytes}});
 
   NodeAttach& at = node_attach_[pkt.src];
-  Port& inj = at.injection;
   const std::uint64_t wire = pkt.wire_bytes();
-  const Time start = std::max(engine_.now(), inj.busy_until);
-  const Time finish = start + inj.link.bw.serialize(wire);
-  inj.busy_until = finish;
-  const Time arrival = finish + inj.link.latency;
+  const Time start = std::max(engine_.now(), at.inj_busy);
+  const Time finish = start + at.inj_link.bw.serialize(wire);
+  at.inj_busy = finish;
+  const Time arrival = finish + at.inj_link.latency;
   const int sw = at.sw;
-  if (!static_routes_.empty()) {
+  if (static_mode_) {
     // Reserve the delivery/rx sequence pair whether or not the express
     // path engages, so tie-break order of all events shared between the
     // two modes is identical (the exactness invariant, DESIGN.md §8).
@@ -226,8 +261,7 @@ void Fabric::inject_burst(std::vector<Packet>& pkts) {
   }
 
   NodeAttach& at = node_attach_[src];
-  Port& inj = at.injection;
-  const bool reserved = !static_routes_.empty();
+  const bool reserved = static_mode_;
   burst_arrivals_.clear();
   burst_arrivals_.reserve(pkts.size());
   // Phase 1 — identical in every routing/express mode: per-packet
@@ -246,10 +280,10 @@ void Fabric::inject_burst(std::vector<Packet>& pkts) {
                  {"bytes", pkt.bytes}});
     if (reserved) pkt.res_seq = engine_.reserve_sequence(2);
     const std::uint64_t wire = pkt.wire_bytes();
-    const Time start = std::max(engine_.now(), inj.busy_until);
-    const Time finish = start + inj.link.bw.serialize(wire);
-    inj.busy_until = finish;
-    burst_arrivals_.push_back(finish + inj.link.latency);
+    const Time start = std::max(engine_.now(), at.inj_busy);
+    const Time finish = start + at.inj_link.bw.serialize(wire);
+    at.inj_busy = finish;
+    burst_arrivals_.push_back(finish + at.inj_link.latency);
   }
 
   // Phase 2 — commit the longest possible prefix to the express path as a
@@ -324,7 +358,6 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
 
   const NodeId dst = pkts[0].dst;
   const NodeAttach& dst_at = node_attach_[dst];
-  const std::size_t nodes = node_attach_.size();
   // A burst is full-MTU packets plus a possibly shorter final packet, so
   // exactly two wire sizes cover every serialization the walk needs.
   const std::uint64_t wire_f = pkts[0].wire_bytes();
@@ -342,39 +375,39 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
   Time opt_l = arrivals[n - 1];
   int sw = node_attach_[pkts[0].src].sw;
   while (true) {
-    Switch& s = switches_[sw];
+    const Switch& s = switches_[sw];
     int port;
     bool transit = false;
     if (dst_at.sw == sw) {
       port = dst_at.port;  // ejection to the destination node
     } else {
-      port = static_routes_[static_cast<std::size_t>(sw) * nodes +
-                            static_cast<std::size_t>(dst)];
-      assert(port >= 0 && port < static_cast<int>(s.ports.size()));
+      port = next_hop(sw, dst);
+      assert(port >= 0 && port < s.num_ports);
       transit = true;
     }
-    Port& p = s.ports[port];
+    const std::size_t p = pid(sw, port);
     // An open express packet already holds this port with a virtual
     // arbitration time at or after some burst packet's earliest possible
     // arrival: real hop-by-hop execution could order the two the other
     // way. Unwind everything speculative and let exact arbitration decide.
-    if (opt_f <= p.express_until || opt_l <= p.express_until) {
+    if (opt_f <= port_xuntil_[p] || opt_l <= port_xuntil_[p]) {
       rematerialize_open();
       express_fallbacks_ += n;
       return 0;
     }
+    const LinkParams& link = port_link_[p];
     const Time xser_f = s.xbar_bw.serialize(wire_f);
-    const Time pser_f = p.link.bw.serialize(wire_f);
+    const Time pser_f = link.bw.serialize(wire_f);
     const Time xser_l = wire_l == wire_f ? xser_f : s.xbar_bw.serialize(wire_l);
-    const Time pser_l = wire_l == wire_f ? pser_f : p.link.bw.serialize(wire_l);
-    walk_.push_back(WalkHop{sw, port, s.latency, p.link.latency, xser_f,
-                            xser_l, pser_f, pser_l, p.busy_until,
-                            p.express_until, transit});
-    opt_f += s.latency + xser_f + pser_f + p.link.latency;
-    opt_l += s.latency + xser_l + pser_l + p.link.latency;
-    if (p.peer_node >= 0) break;  // ejection hop: walk complete
-    assert(p.peer_switch >= 0 && "packet routed to an unwired port");
-    sw = p.peer_switch;
+    const Time pser_l = wire_l == wire_f ? pser_f : link.bw.serialize(wire_l);
+    walk_.push_back(WalkHop{sw, static_cast<std::int32_t>(p), s.latency,
+                            link.latency, xser_f, xser_l, pser_f, pser_l,
+                            port_busy_[p], port_xuntil_[p], transit});
+    opt_f += s.latency + xser_f + pser_f + link.latency;
+    opt_l += s.latency + xser_l + pser_l + link.latency;
+    if (port_peer_node_[p] >= 0) break;  // ejection hop: walk complete
+    assert(port_peer_sw_[p] >= 0 && "packet routed to an unwired port");
+    sw = port_peer_sw_[p];
     if (!shard_of_switch_.empty() &&
         shard_of_switch_[static_cast<std::size_t>(sw)] != my_shard_) {
       // The route leaves this shard: the remaining hops belong to a peer
@@ -445,10 +478,10 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
   std::uint64_t transit_hops = 0;
   for (std::size_t h = 0; h < nh; ++h) {
     const WalkHop& w = walk_[h];
-    Port& p = switches_[w.sw].ports[w.port];
-    p.busy_until = commit_busy_[h];
-    p.express_until = std::max(p.express_until, commit_arr_[h]);
-    r.hops.push_back(ExpressHop{w.sw, w.port, w.prev_busy,
+    const std::size_t p = static_cast<std::size_t>(w.pid);
+    port_busy_[p] = commit_busy_[h];
+    port_xuntil_[p] = std::max(port_xuntil_[p], commit_arr_[h]);
+    r.hops.push_back(ExpressHop{w.sw, w.pid, w.prev_busy,
                                 w.prev_express_until, ++express_epoch_,
                                 w.transit});
     if (w.transit) ++transit_hops;
@@ -658,12 +691,12 @@ void Fabric::rematerialize_open() {
       const std::uint64_t wire = r.pkts[k].wire_bytes();
       for (std::size_t h = 0; h < nh; ++h) {
         const Switch& s = switches_[r.hops[h].sw];
-        const Port& p = s.ports[r.hops[h].port];
+        const LinkParams& link = port_link_[r.hops[h].pid];
         replay_arr_[k * nh + h] = a;
         const Time fin = a + s.latency + s.xbar_bw.serialize(wire) +
-                         p.link.bw.serialize(wire);
+                         link.bw.serialize(wire);
         replay_fin_[k * nh + h] = fin;
-        a = fin + p.link.latency;
+        a = fin + link.latency;
       }
     }
 
@@ -678,8 +711,7 @@ void Fabric::rematerialize_open() {
       const ExpressHop& eh = r.hops[h];
       UndoHop u;
       u.epoch = eh.epoch;
-      u.sw = eh.sw;
-      u.port = eh.port;
+      u.pid = eh.pid;
       u.expect_busy = replay_fin_[(n - 1) * nh + h];
       if (j > 0) {
         u.restore_busy = replay_fin_[(j - 1) * nh + h];
@@ -802,52 +834,53 @@ void Fabric::rematerialize_open() {
   std::sort(undo_.begin(), undo_.end(),
             [](const UndoHop& x, const UndoHop& y) { return x.epoch > y.epoch; });
   for (const UndoHop& u : undo_) {
-    Port& p = switches_[u.sw].ports[u.port];
-    assert(p.busy_until == u.expect_busy &&
+    const std::size_t p = static_cast<std::size_t>(u.pid);
+    assert(port_busy_[p] == u.expect_busy &&
            "a future express charge was overwritten");
-    p.busy_until = u.restore_busy;
-    p.express_until = u.restore_express_until;
+    port_busy_[p] = u.restore_busy;
+    port_xuntil_[p] = u.restore_express_until;
   }
 }
 
 void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
   ++pkt.hops;
-  Switch& s = switches_[sw];
+  const Switch& s = switches_[sw];
 
   int port;
   const NodeAttach& dst_at = node_attach_[pkt.dst];
   if (dst_at.sw == sw) {
     port = dst_at.port;  // ejection to the destination node
-  } else if (!static_routes_.empty()) {
-    // Deterministic routing: one flat-array load instead of a
-    // std::function call into the topology's route logic per hop.
-    port = static_routes_[static_cast<std::size_t>(sw) * node_attach_.size() +
-                          static_cast<std::size_t>(pkt.dst)];
+  } else if (static_mode_) {
+    // Deterministic routing: O(1) coordinate arithmetic (or one flat-array
+    // load under the materialized LUT) instead of a std::function call
+    // into the topology's route logic per hop.
+    port = next_hop(sw, pkt.dst);
     c_route_cache_hits_->inc();
-    assert(port >= 0 && port < static_cast<int>(s.ports.size()));
+    assert(port >= 0 && port < s.num_ports);
   } else {
     port = router_(sw, pkt);
-    assert(port >= 0 && port < static_cast<int>(s.ports.size()));
+    assert(port >= 0 && port < s.num_ports);
   }
 
-  Port& p = s.ports[port];
+  const std::size_t p = pid(sw, port);
+  const LinkParams& link = port_link_[p];
   const std::uint64_t wire = pkt.wire_bytes();
   const Time xbar_done = engine_.now() + s.latency + s.xbar_bw.serialize(wire);
-  if (p.busy_until > xbar_done) {
+  if (port_busy_[p] > xbar_done) {
     // True queue wait beyond the crossbar (DESIGN.md §7). Recorded only
     // when positive, so zero-wait arbitrations — the ones the express
     // path elides — leave the gauge untouched in both modes.
     g_port_backlog_ns_->set(
-        static_cast<std::int64_t>((p.busy_until - xbar_done) / kNanosecond));
+        static_cast<std::int64_t>((port_busy_[p] - xbar_done) / kNanosecond));
   }
-  const Time start = std::max(xbar_done, p.busy_until);
-  const Time finish = start + p.link.bw.serialize(wire);
-  p.busy_until = finish;
-  const Time arrival = finish + p.link.latency;
+  const Time start = std::max(xbar_done, port_busy_[p]);
+  const Time finish = start + link.bw.serialize(wire);
+  port_busy_[p] = finish;
+  const Time arrival = finish + link.latency;
 
-  if (p.peer_node >= 0) {
+  if (port_peer_node_[p] >= 0) {
     --hop_inflight_;  // final arbitration for this packet
-    const NodeId node = p.peer_node;
+    const NodeId node = port_peer_node_[p];
     const Time rank = pkt.injected_at;
     const std::uint64_t tie = packet_tie(pkt);
     if (pkt.res_seq == kRemoteResSeq) {
@@ -872,7 +905,7 @@ void Fabric::arrive_at_switch(int sw, Packet&& pkt) {
                                  });
     }
   } else {
-    const int next = p.peer_switch;
+    const int next = port_peer_sw_[p];
     assert(next >= 0 && "packet routed to an unwired port");
     if (!shard_of_switch_.empty() &&
         shard_of_switch_[static_cast<std::size_t>(next)] != my_shard_) {
@@ -958,10 +991,11 @@ void Fabric::close_record(std::uint32_t idx) {
 
 void Fabric::check_wired() const {
   for (std::size_t sw = 0; sw < switches_.size(); ++sw) {
-    const auto& ports = switches_[sw].ports;
-    for (std::size_t p = 0; p < ports.size(); ++p) {
-      if (ports[p].peer_switch < 0 && ports[p].peer_node < 0) {
-        std::fprintf(stderr, "fabric: switch %zu port %zu unwired\n", sw, p);
+    const Switch& s = switches_[sw];
+    for (int p = 0; p < s.num_ports; ++p) {
+      const std::size_t id = pid(static_cast<int>(sw), p);
+      if (port_peer_sw_[id] < 0 && port_peer_node_[id] < 0) {
+        std::fprintf(stderr, "fabric: switch %zu port %d unwired\n", sw, p);
         std::abort();
       }
     }

@@ -35,25 +35,17 @@ struct LinkParams {
   Time latency = 100 * kNanosecond;  ///< propagation (wire/SerDes) delay
 };
 
-struct Port {
-  LinkParams link;
-  std::int32_t peer_switch = -1;  ///< -1 when the peer is a node
-  std::int32_t peer_port = -1;
-  NodeId peer_node = -1;
-  Time busy_until = 0;
-  /// Latest *virtual* arbitration time among express (eagerly charged)
-  /// packets on this port. A later injection whose optimistic arrival at
-  /// this port is <= express_until could arbitrate out of charge order —
-  /// the conflict that rematerializes open express records. Restored per
-  /// charge on unwind; contributions from completed packets are always in
-  /// the past and can never conflict.
-  Time express_until = 0;
-};
-
+/// Per-port state lives in flat fabric-wide SoA arrays indexed by global
+/// port id (Switch::port_base + local port index), not in per-Port
+/// objects: the express walk and hop arbitration touch only busy/express
+/// times, so packing those into dense dedicated arrays keeps the hot
+/// working set at 16 bytes/port instead of dragging link parameters and
+/// wiring (cold, read at build/walk-setup time) through the cache.
 struct Switch {
   Time latency = 100 * kNanosecond;  ///< fixed crossbar traversal latency
   Bandwidth xbar_bw;                 ///< crossbar serialization bandwidth
-  std::vector<Port> ports;
+  std::int32_t port_base = 0;        ///< first global port id of this switch
+  std::int32_t num_ports = 0;
 };
 
 struct FabricStats {
@@ -97,8 +89,17 @@ class Fabric {
   explicit Fabric(sim::Engine& engine,
                   obs::MetricsRegistry* metrics = nullptr);
 
+  /// Pre-size the switch and port arrays (Topology::footprint()), so a
+  /// paper-scale build is a single allocation per array instead of a
+  /// doubling-growth sequence. `ports` counts switch-to-switch ports;
+  /// attach_node adds one ejection port per node on top.
+  void reserve(int switches, int ports, int nodes);
+
   int add_switch(Time latency, Bandwidth xbar_bw);
   /// Append a port to `sw`; wiring is set later via connect()/attach_node().
+  /// Ports live in fabric-wide contiguous arrays, so all of a switch's
+  /// ports must be added before the next switch's first port (every
+  /// topology builds switch-by-switch in id order).
   int add_port(int sw, LinkParams link);
   /// Wire two existing switch ports together (bidirectional pair).
   void connect(int sw_a, int port_a, int sw_b, int port_b);
@@ -118,6 +119,12 @@ class Fabric {
   /// separate delivery event.
   void set_express_rx(NodeId node, Time rx_delay, Delivery rx);
 
+  /// O(1) algebraic next-hop resolver: returns the output (local) port at
+  /// `sw` for a transit packet to node `dst` (never called when dst's
+  /// switch == sw). Plain function pointer + context — not std::function —
+  /// so the per-hop dispatch is one indirect call with no capture storage.
+  using NextHopFn = int (*)(const void* ctx, int sw, NodeId dst);
+
   /// Install the precomputed next-hop table for deterministic routing:
   /// entry [sw * num_attached_nodes() + dst] is the output port at `sw`
   /// for a transit packet to node `dst` (ejection switches excluded — the
@@ -126,7 +133,22 @@ class Fabric {
   /// call entirely; adaptive routing never installs one. Built by
   /// Network after wiring (see Network ctor).
   void set_static_routes(std::vector<std::int32_t> table);
-  bool has_static_routes() const { return !static_routes_.empty(); }
+
+  /// Install an algebraic static resolver instead of a materialized table:
+  /// same routing semantics and identical simulation output, O(1) memory.
+  /// `ctx` must outlive the fabric's routing (Network owns both).
+  void set_algebraic_routes(NextHopFn fn, const void* ctx);
+
+  /// True when static next hops are resolvable without the router_
+  /// callback — either resolver form counts.
+  bool has_static_routes() const { return static_mode_; }
+
+  /// Resident bytes of static-routing state: the materialized LUT's
+  /// capacity, or 0 under the algebraic resolver. The paper-scale metric
+  /// BENCH_engine.json tracks (route-table memory, ISSUE 7).
+  std::size_t route_table_bytes() const {
+    return static_routes_.capacity() * sizeof(std::int32_t);
+  }
 
   /// Arm or disarm the express cut-through fast path (--no-express
   /// ablation). Only effective while a static route table is installed;
@@ -170,6 +192,18 @@ class Fabric {
   int num_attached_nodes() const { return static_cast<int>(node_attach_.size()); }
   const Switch& switch_at(int sw) const { return switches_[sw]; }
   int switch_of_node(NodeId node) const { return node_attach_[node].sw; }
+
+  // Per-port wiring accessors (SoA arrays; `port` is the local index).
+  int switch_num_ports(int sw) const { return switches_[sw].num_ports; }
+  std::int32_t port_peer_switch(int sw, int port) const {
+    return port_peer_sw_[pid(sw, port)];
+  }
+  NodeId port_peer_node(int sw, int port) const {
+    return port_peer_node_[pid(sw, port)];
+  }
+  const LinkParams& port_link(int sw, int port) const {
+    return port_link_[pid(sw, port)];
+  }
 
   /// Output-queue backlog of (sw, port) relative to now; the congestion
   /// signal adaptive routing policies compare.
@@ -222,8 +256,9 @@ class Fabric {
 
   struct NodeAttach {
     std::int32_t sw = -1;
-    std::int32_t port = -1;       ///< switch-side (ejection) port
-    Port injection;               ///< node -> switch link state
+    std::int32_t port = -1;       ///< switch-side (ejection) port, local idx
+    LinkParams inj_link;          ///< node -> switch link parameters
+    Time inj_busy = 0;            ///< node -> switch link busy_until
     Delivery delivery;
     Delivery express_rx;          ///< folded NIC receive hook (optional)
     Time express_rx_delay = 0;    ///< NIC per-packet rx pipeline cost
@@ -250,11 +285,11 @@ class Fabric {
   /// (rare) rematerialize path recomputes them.
   struct ExpressHop {
     std::int32_t sw = -1;
-    std::int32_t port = -1;
+    std::int32_t pid = -1;  ///< global port id
     Time prev_busy = 0;
     Time prev_express_until = 0;
     std::uint64_t epoch = 0;
-    bool transit = false;  ///< consulted the static table (route_cache_hits)
+    bool transit = false;  ///< resolved via static routing (route_cache_hits)
   };
 
   /// Scratch row built once per walk: the route plus every per-hop
@@ -265,7 +300,7 @@ class Fabric {
   /// hop with table lookups.
   struct WalkHop {
     std::int32_t sw = -1;
-    std::int32_t port = -1;
+    std::int32_t pid = -1;  ///< global port id
     Time sw_latency = 0;
     Time link_latency = 0;
     Time xser_f = 0;  ///< crossbar serialization, full-size packet
@@ -281,8 +316,7 @@ class Fabric {
   /// descending epoch order so every restore sees the state it saved.
   struct UndoHop {
     std::uint64_t epoch = 0;
-    std::int32_t sw = -1;
-    std::int32_t port = -1;
+    std::int32_t pid = -1;  ///< global port id
     Time restore_busy = 0;
     Time restore_express_until = 0;
     Time expect_busy = 0;  ///< asserted == the port's busy_until pre-restore
@@ -318,6 +352,20 @@ class Fabric {
     bool open = false;
   };
 
+  /// Global port id of `sw`'s local port index.
+  std::size_t pid(int sw, int port) const {
+    return static_cast<std::size_t>(switches_[sw].port_base + port);
+  }
+
+  /// Static next hop (local port at `sw`) for a transit packet to `dst`:
+  /// O(1) arithmetic under the algebraic resolver, one array load under
+  /// the materialized LUT. Only valid while has_static_routes().
+  int next_hop(int sw, NodeId dst) const {
+    if (next_hop_fn_ != nullptr) return next_hop_fn_(next_hop_ctx_, sw, dst);
+    return static_routes_[static_cast<std::size_t>(sw) * node_attach_.size() +
+                          static_cast<std::size_t>(dst)];
+  }
+
   void arrive_at_switch(int sw, Packet&& pkt);
   void deliver(NodeId node, Packet&& pkt);
   void burst_step(std::unique_ptr<Burst> burst);
@@ -349,11 +397,32 @@ class Fabric {
 
   sim::Engine& engine_;
   std::vector<Switch> switches_;
+  // ---- per-port SoA arrays, indexed by global port id ----
+  // Hot (touched per arbitration / express walk):
+  std::vector<Time> port_busy_;    ///< output FIFO busy_until
+  /// Latest *virtual* arbitration time among express (eagerly charged)
+  /// packets on the port. A later injection whose optimistic arrival at
+  /// the port is <= this could arbitrate out of charge order — the
+  /// conflict that rematerializes open express records. Restored per
+  /// charge on unwind; contributions from completed packets are always in
+  /// the past and can never conflict.
+  std::vector<Time> port_xuntil_;
+  // Cold (wiring + link parameters, read at walk setup / hop setup):
+  std::vector<LinkParams> port_link_;
+  std::vector<std::int32_t> port_peer_sw_;  ///< -1 when the peer is a node
+  std::vector<NodeId> port_peer_node_;      ///< -1 when the peer is a switch
   std::vector<NodeAttach> node_attach_;
   Router router_;
   /// Flat (switch, dst) -> port table for static routing; empty when the
-  /// routing mode is adaptive (per-packet router_ calls).
+  /// routing mode is adaptive (per-packet router_ calls) or the algebraic
+  /// resolver is installed.
   std::vector<std::int32_t> static_routes_;
+  /// Algebraic static resolver; when set, next_hop() never touches the
+  /// materialized table.
+  NextHopFn next_hop_fn_ = nullptr;
+  const void* next_hop_ctx_ = nullptr;
+  /// True when either static resolver form is installed.
+  bool static_mode_ = false;
   /// Sharding (empty when this fabric owns the whole topology): owning
   /// shard per switch, this fabric's shard id, and the handoff hook.
   std::vector<std::int32_t> shard_of_switch_;

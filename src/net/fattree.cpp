@@ -18,21 +18,32 @@ FatTreeTopology::FatTreeTopology(const NetworkConfig& config) : config_(config) 
 void FatTreeTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int h = half();
-  const int total = num_edges_ + num_aggs_ + num_cores_;
-  for (int sw = 0; sw < total; ++sw) {
+  // Pass 1 — one switch at a time, in id order (edges, aggs, cores), each
+  // with ALL of its ports: the fabric's SoA port arrays require per-switch
+  // contiguous blocks. Local port numbering matches the pre-SoA builder:
+  //   Edge ports 0..h-1: uplinks to the pod's aggregation switches;
+  //     ports h..k-1: ejection links to the edge's h nodes.
+  //   Agg ports 0..h-1: downlinks to edges; ports h..k-1: uplinks to cores.
+  //   Core ports 0..k-1: downlinks, one per pod.
+  const int nodes_per_pod = h * h;
+  for (int sw = 0; sw < num_edges_; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
+    for (int p = 0; p < h; ++p) fabric.add_port(sw, config_.link);
+    const int pod = sw / h, e = sw % h;
+    for (int n = 0; n < h; ++n) {
+      fabric.attach_node(sw, pod * nodes_per_pod + e * h + n, config_.link);
+    }
   }
-  // Edge ports 0..h-1: uplinks to the pod's aggregation switches.
-  // Agg ports 0..h-1: downlinks to edges; ports h..k-1: uplinks to cores.
-  // Core ports 0..k-1: downlinks, one per pod.
-  for (int sw = 0; sw < num_edges_ + num_aggs_; ++sw) {
-    const int ports = sw < num_edges_ ? h : k_;
-    for (int p = 0; p < ports; ++p) fabric.add_port(sw, config_.link);
+  for (int sw = num_edges_; sw < num_edges_ + num_aggs_; ++sw) {
+    fabric.add_switch(config_.switch_latency, xbar);
+    for (int p = 0; p < k_; ++p) fabric.add_port(sw, config_.link);
   }
   for (int c = 0; c < num_cores_; ++c) {
+    fabric.add_switch(config_.switch_latency, xbar);
     for (int p = 0; p < k_; ++p) fabric.add_port(core_id(c), config_.link);
   }
 
+  // Pass 2 — wiring only (no port creation).
   for (int pod = 0; pod < k_; ++pod) {
     for (int e = 0; e < h; ++e) {
       for (int a = 0; a < h; ++a) {
@@ -48,16 +59,26 @@ void FatTreeTopology::build(Fabric& fabric) {
       }
     }
   }
+}
 
-  const int nodes_per_pod = h * h;
-  for (int pod = 0; pod < k_; ++pod) {
-    for (int e = 0; e < h; ++e) {
-      for (int n = 0; n < h; ++n) {
-        const NodeId node = pod * nodes_per_pod + e * h + n;
-        fabric.attach_node(edge_id(pod, e), node, config_.link);
-      }
-    }
+TopologyFootprint FatTreeTopology::footprint() const {
+  return TopologyFootprint{
+      num_edges_ + num_aggs_ + num_cores_,
+      num_edges_ * half() + num_aggs_ * k_ + num_cores_ * k_, num_nodes()};
+}
+
+int FatTreeTopology::static_next_hop(int sw, NodeId dst) const {
+  // Same D-mod-k arithmetic as route(kStatic); dst's edge switch is
+  // dst / h (node = pod*h*h + e*h + n, edge id = pod*h + e).
+  const int h = half();
+  if (sw < num_edges_) return static_cast<int>(dst) % h;  // deterministic up
+  if (sw < num_edges_ + num_aggs_) {
+    const int pod = (sw - num_edges_) / h;
+    const int dst_edge_sw = static_cast<int>(dst) / h;
+    if (pod == dst_edge_sw / h) return dst_edge_sw % h;  // down to the edge
+    return h + static_cast<int>(dst) % h;                // deterministic up
   }
+  return static_cast<int>(dst) / (h * h);  // core: unique downward pod port
 }
 
 int FatTreeTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,

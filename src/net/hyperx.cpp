@@ -21,14 +21,22 @@ HyperXTopology::HyperXTopology(const NetworkConfig& config)
 
 void HyperXTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
+  // Pass 1 — one switch at a time, in id order, with ALL of its ports
+  // (dim-0 peers, dim-1 peers, then conc_ ejection links): the fabric's
+  // SoA port arrays require per-switch contiguous blocks. Local port
+  // numbering is unchanged from the pre-SoA builder.
   for (int i = 0; i < l1_; ++i) {
     for (int j = 0; j < l2_; ++j) {
       const int sw = fabric.add_switch(config_.switch_latency, xbar);
       for (int p = 0; p < (l1_ - 1) + (l2_ - 1); ++p) {
         fabric.add_port(sw, config_.link);
       }
+      for (int c = 0; c < conc_; ++c) {
+        fabric.attach_node(sw, sw * conc_ + c, config_.link);
+      }
     }
   }
+  // Pass 2 — wiring only (no port creation).
   // Dimension 0: all-to-all among switches sharing j.
   for (int j = 0; j < l2_; ++j) {
     for (int i = 0; i < l1_; ++i) {
@@ -47,14 +55,23 @@ void HyperXTopology::build(Fabric& fabric) {
       }
     }
   }
-  for (int i = 0; i < l1_; ++i) {
-    for (int j = 0; j < l2_; ++j) {
-      for (int c = 0; c < conc_; ++c) {
-        fabric.attach_node(switch_id(i, j), (switch_id(i, j)) * conc_ + c,
-                           config_.link);
-      }
-    }
-  }
+}
+
+TopologyFootprint HyperXTopology::footprint() const {
+  const int switches = l1_ * l2_;
+  return TopologyFootprint{switches, switches * ((l1_ - 1) + (l2_ - 1)),
+                           switches * conc_};
+}
+
+int HyperXTopology::static_next_hop(int sw, NodeId dst) const {
+  // Dimension-order (dim 0 first), as route(kStatic); dst's switch is
+  // dst / conc_ (nodes are attached in switch-id order).
+  const int dst_sw = static_cast<int>(dst) / conc_;
+  const int i = sw / l2_, j = sw % l2_;
+  const int di = dst_sw / l2_, dj = dst_sw % l2_;
+  if (i != di) return dim0_port(i, di);
+  if (j != dj) return dim1_port(j, dj);
+  return -1;  // unreachable: dst attached here
 }
 
 int HyperXTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,

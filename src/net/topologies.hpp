@@ -15,6 +15,15 @@ class StarTopology final : public Topology {
   int num_nodes() const override { return nodes_; }
   void build(Fabric& fabric) override;
   int route(Fabric&, int, Packet&, Routing, Rng&) override;
+  /// Never consulted: every destination is on the single switch, so the
+  /// fabric always takes the ejection path before routing. Declaring the
+  /// topology algebraic keeps static-mode semantics (express eligibility,
+  /// sequence reservation) identical with zero route-table bytes.
+  int static_next_hop(int, NodeId) const override { return -1; }
+  bool algebraic_routing() const override { return true; }
+  TopologyFootprint footprint() const override {
+    return TopologyFootprint{1, 0, nodes_};
+  }
   int diameter() const override { return 1; }
 
  private:
@@ -33,6 +42,9 @@ class Torus3DTopology final : public Topology {
   int num_nodes() const override { return dx_ * dy_ * dz_ * conc_; }
   void build(Fabric& fabric) override;
   int route(Fabric& fabric, int sw, Packet& pkt, Routing mode, Rng& rng) override;
+  int static_next_hop(int sw, NodeId dst) const override;
+  bool algebraic_routing() const override { return true; }
+  TopologyFootprint footprint() const override;
   int diameter() const override { return dx_ / 2 + dy_ / 2 + dz_ / 2; }
 
   int dim_x() const { return dx_; }
@@ -55,6 +67,9 @@ class FatTreeTopology final : public Topology {
   int num_nodes() const override { return k_ * k_ * k_ / 4; }
   void build(Fabric& fabric) override;
   int route(Fabric& fabric, int sw, Packet& pkt, Routing mode, Rng& rng) override;
+  int static_next_hop(int sw, NodeId dst) const override;
+  bool algebraic_routing() const override { return true; }
+  TopologyFootprint footprint() const override;
   int diameter() const override { return 6; }
 
   int arity() const { return k_; }
@@ -83,6 +98,9 @@ class DragonflyTopology final : public Topology {
   int num_nodes() const override { return groups_ * a_ * p_; }
   void build(Fabric& fabric) override;
   int route(Fabric& fabric, int sw, Packet& pkt, Routing mode, Rng& rng) override;
+  int static_next_hop(int sw, NodeId dst) const override;
+  bool algebraic_routing() const override { return true; }
+  TopologyFootprint footprint() const override;
   int diameter() const override { return 5; }  // l-g-l worst case (+detour)
 
   int groups() const { return groups_; }
@@ -101,8 +119,10 @@ class DragonflyTopology final : public Topology {
   int link_to_group(int group, int target_group) const {
     return (target_group - group - 1 + groups_) % groups_;
   }
-  /// Next hop toward dst switch within/between groups (minimal).
-  int minimal_port(Fabric& fabric, int sw, int dst_sw) const;
+  /// Next hop toward dst switch within/between groups (minimal). Pure
+  /// coordinate arithmetic — shared by route(kStatic) and
+  /// static_next_hop.
+  int minimal_port(int sw, int dst_sw) const;
 
   NetworkConfig config_;
   int p_, a_, h_, groups_;
@@ -119,6 +139,9 @@ class HyperXTopology final : public Topology {
   int num_nodes() const override { return l1_ * l2_ * conc_; }
   void build(Fabric& fabric) override;
   int route(Fabric& fabric, int sw, Packet& pkt, Routing mode, Rng& rng) override;
+  int static_next_hop(int sw, NodeId dst) const override;
+  bool algebraic_routing() const override { return true; }
+  TopologyFootprint footprint() const override;
   int diameter() const override { return 2; }
 
   int extent1() const { return l1_; }

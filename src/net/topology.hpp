@@ -24,8 +24,20 @@ enum class Routing {
 
 enum class TopologyKind { kStar, kTorus3D, kFatTree, kDragonfly, kHyperX };
 
+/// How static next-hops are resolved on the fabric hot path.
+///
+/// Every registered topology is regular, so the static next hop is a pure
+/// O(1) function of (switch, dst) coordinates — no per-destination storage.
+/// kAlgebraic installs that function directly; kMaterialized precomputes
+/// the full O(switches x nodes) int32 LUT (the pre-PR-7 behavior), kept as
+/// an ablation and as the oracle the algebraic routers are tested against.
+/// Simulation results are bit-identical either way (DESIGN.md §13); only
+/// memory footprint and construction time move.
+enum class RouteTable { kAlgebraic, kMaterialized };
+
 std::string to_string(TopologyKind kind);
 std::string to_string(Routing routing);
+std::string to_string(RouteTable table);
 
 struct NetworkConfig {
   TopologyKind topology = TopologyKind::kStar;
@@ -53,6 +65,17 @@ struct NetworkConfig {
   /// Only meaningful under static routing; results are bit-identical with
   /// it off (--no-express ablation), only event counts and wall time move.
   bool express = true;
+
+  /// Static next-hop resolution strategy (ignored under adaptive routing).
+  RouteTable route_table = RouteTable::kAlgebraic;
+};
+
+/// Exact element counts a topology will create in build(), so Fabric can
+/// reserve its SoA arrays up front instead of growing them incrementally.
+struct TopologyFootprint {
+  int switches = 0;
+  int ports = 0;  ///< switch-to-switch ports, summed over all switches
+  int nodes = 0;
 };
 
 class Topology {
@@ -68,6 +91,23 @@ class Topology {
   /// Select the output port for a transit packet (dst not on `sw`).
   virtual int route(Fabric& fabric, int sw, Packet& pkt, Routing mode,
                     Rng& rng) = 0;
+
+  /// O(1) static next hop for a transit packet at `sw` headed to `dst`
+  /// (dst's switch != sw). Must agree with route(..., kStatic, ...) on
+  /// every reachable (sw, dst) pair — test_routing_algebra checks this
+  /// against the materialized LUT oracle. Only consulted when
+  /// algebraic_routing() is true.
+  virtual int static_next_hop(int sw, NodeId dst) const {
+    (void)sw;
+    (void)dst;
+    return -1;
+  }
+
+  /// True when static_next_hop implements this topology's static routing.
+  virtual bool algebraic_routing() const { return false; }
+
+  /// Element counts for Fabric::reserve(); all-zero means "unknown".
+  virtual TopologyFootprint footprint() const { return {}; }
 
   /// Expected hop count bounds, used by tests.
   virtual int diameter() const = 0;

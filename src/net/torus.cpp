@@ -32,10 +32,18 @@ Torus3DTopology::Torus3DTopology(const NetworkConfig& config)
 void Torus3DTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int num_switches = dx_ * dy_ * dz_;
+  // Pass 1 — one switch at a time, in id order, with ALL of its ports
+  // (6 neighbor links then conc_ ejection links): the fabric's SoA port
+  // arrays require each switch's block to be contiguous. Local port
+  // numbering is unchanged from the pre-SoA builder.
   for (int sw = 0; sw < num_switches; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
     for (int port = 0; port < 6; ++port) fabric.add_port(sw, config_.link);
+    for (int c = 0; c < conc_; ++c) {
+      fabric.attach_node(sw, sw * conc_ + c, config_.link);
+    }
   }
+  // Pass 2 — wiring only (no port creation).
   const int dims[3] = {dx_, dy_, dz_};
   for (int x = 0; x < dx_; ++x) {
     for (int y = 0; y < dy_; ++y) {
@@ -48,12 +56,31 @@ void Torus3DTopology::build(Fabric& fabric) {
           const int neighbor = switch_of(nc[0], nc[1], nc[2]);
           fabric.connect(sw, kPortPlus[dim], neighbor, kPortMinus[dim]);
         }
-        for (int c = 0; c < conc_; ++c) {
-          fabric.attach_node(sw, sw * conc_ + c, config_.link);
-        }
       }
     }
   }
+}
+
+TopologyFootprint Torus3DTopology::footprint() const {
+  const int switches = dx_ * dy_ * dz_;
+  return TopologyFootprint{switches, switches * 6, switches * conc_};
+}
+
+int Torus3DTopology::static_next_hop(int sw, NodeId dst) const {
+  // Same dimension-order arithmetic as route(kStatic); dst's switch is
+  // dst / conc_ (nodes are attached in switch-id order).
+  const int dst_sw = static_cast<int>(dst) / conc_;
+  const int dims[3] = {dx_, dy_, dz_};
+  const int cur[3] = {sw / (dy_ * dz_), (sw / dz_) % dy_, sw % dz_};
+  const int dsc[3] = {dst_sw / (dy_ * dz_), (dst_sw / dz_) % dy_,
+                      dst_sw % dz_};
+  for (int dim = 0; dim < 3; ++dim) {
+    const int fwd = (dsc[dim] - cur[dim] + dims[dim]) % dims[dim];
+    if (fwd == 0) continue;
+    const int bwd = (cur[dim] - dsc[dim] + dims[dim]) % dims[dim];
+    return fwd <= bwd ? kPortPlus[dim] : kPortMinus[dim];
+  }
+  return -1;  // unreachable: dst would be attached to this switch
 }
 
 int Torus3DTopology::route(Fabric& fabric, int sw, Packet& pkt, Routing mode,

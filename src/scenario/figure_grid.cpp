@@ -3,6 +3,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "common/cli.hpp"
@@ -304,6 +305,23 @@ int run_grid_with_output(const GridSpec& grid, const GridRunOptions& opts) {
   return 0;
 }
 
+namespace {
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) parts.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
 int run_figure_cli(GridSpec grid, int argc, char** argv) {
   Cli cli(argc, argv);
   grid.base.nodes = static_cast<int>(cli.get_int("nodes", grid.base.nodes));
@@ -313,6 +331,31 @@ int run_figure_cli(GridSpec grid, int argc, char** argv) {
       cli.get_int("seed", static_cast<std::int64_t>(grid.base.seed)));
   grid.base.par_shards =
       static_cast<int>(cli.get_int("par-shards", grid.base.par_shards));
+  grid.base.route_table = cli.get("route-table", grid.base.route_table);
+  if (grid.base.route_table != "algebraic" &&
+      grid.base.route_table != "materialized") {
+    std::fprintf(stderr, "bad --route-table \"%s\" (want algebraic|materialized)\n",
+                 grid.base.route_table.c_str());
+    return 2;
+  }
+  // Comma-list overlays narrow the sweep without editing the document —
+  // --cases=torus3d-static,fattree-static --gbps=100,2000. Case names are
+  // validated by resolve_topo_case before any cell runs.
+  const std::string cases_flag = cli.get("cases", "");
+  if (!cases_flag.empty()) grid.cases = split_commas(cases_flag);
+  const std::string gbps_flag = cli.get("gbps", "");
+  if (!gbps_flag.empty()) {
+    grid.gbps.clear();
+    for (const std::string& part : split_commas(gbps_flag)) {
+      char* end = nullptr;
+      const double g = std::strtod(part.c_str(), &end);
+      if (end == part.c_str() || *end != '\0' || g <= 0) {
+        std::fprintf(stderr, "bad --gbps entry \"%s\"\n", part.c_str());
+        return 2;
+      }
+      grid.gbps.push_back(g);
+    }
+  }
   const bool quick = cli.get_bool("quick", false);
   grid.base.express = !cli.get_bool("no-express", false);
   GridRunOptions opts;

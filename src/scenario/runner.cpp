@@ -1,5 +1,8 @@
 #include "scenario/runner.hpp"
 
+#include <chrono>
+
+#include "common/rss.hpp"
 #include "motifs/runner.hpp"
 #include "scenario/registry.hpp"
 
@@ -36,6 +39,15 @@ bool resolve(const ScenarioSpec& spec, net::NetworkConfig* cfg,
   cfg->concentration = spec.concentration;
   cfg->seed = spec.seed;
   cfg->express = spec.express;
+  // Spec validation already constrains the string to these two values;
+  // anything else is a programming error upstream, so fail loudly here too.
+  if (spec.route_table == "materialized") {
+    cfg->route_table = net::RouteTable::kMaterialized;
+  } else if (spec.route_table == "algebraic") {
+    cfg->route_table = net::RouteTable::kAlgebraic;
+  } else {
+    return fail("unknown route_table \"" + spec.route_table + "\"");
+  }
   return true;
 }
 
@@ -56,7 +68,7 @@ bool validate_scenario(const ScenarioSpec& spec, std::string* error) {
 
 bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
                   std::string* error, Tracer* trace_sink,
-                  std::int64_t eng_id) {
+                  std::int64_t eng_id, RunTiming* timing) {
   net::NetworkConfig cfg;
   const TransportEntry* transport_entry = nullptr;
   const MotifEntry* motif_entry = nullptr;
@@ -70,7 +82,9 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   int shards = spec.par_shards;
   if (spec.sample_period > 0) shards = 1;
   if (trace_sink != nullptr && trace_sink->enabled()) shards = 1;
+  const auto t_build0 = std::chrono::steady_clock::now();
   cluster::Cluster cluster(cfg, nic::NicParams{}, shards);
+  const auto t_build1 = std::chrono::steady_clock::now();
   // Stamp the run id even when keeping the process-default sink: serial
   // grids funnel every run through Tracer::global(), and without distinct
   // "eng" fields trace analyses would mix (and double-count) the runs.
@@ -86,8 +100,19 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   }
   std::unique_ptr<motifs::Transport> transport =
       transport_entry->make(cluster, spec);
+  const auto t_sim0 = std::chrono::steady_clock::now();
   const motifs::MotifResult result =
       motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
+  const auto t_sim1 = std::chrono::steady_clock::now();
+  if (timing != nullptr) {
+    const auto secs = [](auto a, auto b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    timing->construct_wall_s = secs(t_build0, t_build1);
+    timing->sim_wall_s = secs(t_sim0, t_sim1);
+    timing->route_table_bytes = cluster.route_table_bytes();
+    timing->peak_rss_bytes = rvma::peak_rss_bytes();
+  }
 
   const net::FabricStats fabric = cluster.fabric_stats();
   ScenarioResult res;

@@ -7,6 +7,7 @@
 // snapshot, and the sampled timeseries.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -38,6 +39,17 @@ struct ScenarioResult {
   bool operator==(const ScenarioResult&) const = default;
 };
 
+/// Host-side timing and memory for one run. Deliberately NOT part of
+/// ScenarioResult: wall clocks differ run-to-run, and ScenarioResult's
+/// defaulted operator== anchors the jobs=N vs jobs=1 and shards=K vs
+/// serial byte-identity gates.
+struct RunTiming {
+  double construct_wall_s = 0;  ///< Cluster build (topology + routes + NICs)
+  double sim_wall_s = 0;        ///< motif execution only
+  std::size_t route_table_bytes = 0;  ///< resident static-route bytes, all shards
+  std::size_t peak_rss_bytes = 0;     ///< process VmHWM after the run
+};
+
 /// Resolve every registry name in `spec` and build the motif programs
 /// once, without running anything. Returns false with *error set on an
 /// unknown topology/routing/transport/motif or bad motif params — call
@@ -50,7 +62,7 @@ bool validate_scenario(const ScenarioSpec& spec, std::string* error);
 /// runs sharing one sink; grid runners pass the run index.
 bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
                   std::string* error, Tracer* trace_sink = nullptr,
-                  std::int64_t eng_id = 0);
+                  std::int64_t eng_id = 0, RunTiming* timing = nullptr);
 
 /// Metrics document for a single (non-grid) run.
 obs::MetricsDoc build_scenario_metrics_doc(const ScenarioSpec& spec,

@@ -61,8 +61,14 @@ void append_spec_object(std::string* out, const ScenarioSpec& spec,
       .append(std::to_string(spec.concentration))
       .append(",\n");
   out->append(in3).append("\"express\": ")
-      .append(spec.express ? "true" : "false")
-      .append("\n");
+      .append(spec.express ? "true" : "false");
+  // Default-valued route_table is omitted so pre-existing specs (and
+  // their golden bytes) round-trip unchanged.
+  if (spec.route_table != "algebraic") {
+    out->append(",\n").append(in3).append("\"route_table\": ");
+    append_quoted(out, spec.route_table);
+  }
+  out->append("\n");
   out->append(in2).append("},\n");
   out->append(in2).append("\"transport\": {\n");
   out->append(in3).append("\"kind\": ");
@@ -143,6 +149,11 @@ bool parse_spec_object(const obs::JsonValue& root, ScenarioSpec* out,
       spec.concentration = static_cast<int>(v->as_i64(spec.concentration));
     if (const auto* v = topo->find("express"))
       spec.express = v->boolean;
+    if (const auto* v = topo->find("route_table")) {
+      spec.route_table = v->string;
+      if (spec.route_table != "algebraic" && spec.route_table != "materialized")
+        return fail("scenario: bad route_table \"" + spec.route_table + "\"");
+    }
   }
   const auto* transport = root.find("transport");
   if (transport != nullptr) {
@@ -307,6 +318,10 @@ bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,
       static_cast<int>(cli.get_int("concentration", spec->concentration));
   if (cli.get_bool("no-express", false)) spec->express = false;
   if (cli.has("express")) spec->express = cli.get_bool("express", true);
+  spec->route_table = cli.get("route-table", spec->route_table);
+  if (spec->route_table != "algebraic" && spec->route_table != "materialized")
+    return fail("bad --route-table \"" + spec->route_table +
+                "\" (want algebraic|materialized)");
   spec->transport = cli.get("transport", spec->transport);
   spec->rdma_slots =
       static_cast<int>(cli.get_int("rdma-slots", spec->rdma_slots));

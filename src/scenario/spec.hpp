@@ -42,6 +42,11 @@ struct ScenarioSpec {
   int concentration = 1;     ///< endpoints per switch where applicable
   /// Express cut-through ablation; disabling it must not change results.
   bool express = true;
+  /// Static next-hop resolution: "algebraic" (O(1) coordinate arithmetic,
+  /// zero route-table bytes) or "materialized" (the full O(S*N) LUT
+  /// ablation). Results are bit-identical either way; only memory and
+  /// construction time move. Ignored under adaptive routing.
+  std::string route_table = "algebraic";
 
   // ---- transport ----
   std::string transport = "rvma";  ///< TransportRegistry key
@@ -103,8 +108,8 @@ bool looks_like_grid(const std::string& text);
 
 /// Overlay CLI flags onto `spec`: --name, --topology, --routing, --nodes,
 /// --bandwidth, --link-latency, --switch-latency, --xbar-factor,
-/// --concentration, --no-express/--express, --transport, --rdma-slots,
-/// --motif, --motif.<param>=<value>, --seed, --par-shards,
+/// --concentration, --no-express/--express, --route-table, --transport,
+/// --rdma-slots, --motif, --motif.<param>=<value>, --seed, --par-shards,
 /// --sample-period, --metrics.
 /// Flags win over file values. Returns false with *error set on
 /// unparsable values.

@@ -55,6 +55,59 @@ if [ -n "$recorded_pps" ] && [ -n "$new_pps" ]; then
   echo "express gate: $new_pps pkt/s >= 0.9 x recorded $recorded_pps"
 fi
 
+# --- Route-table memory gate --------------------------------------------
+# BENCH_engine.json's paper_scale_8192 block records both route-table
+# modes. The algebraic default must keep at least 100x fewer resident
+# route-table bytes than the materialized ablation (it actually keeps 0).
+alg_bytes=$(sed -n \
+  's/.*"algebraic": {[^}]*"route_table_bytes": \([0-9]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+lut_bytes=$(sed -n \
+  's/.*"materialized": {[^}]*"route_table_bytes": \([0-9]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+peak_rss=$(sed -n 's/^  "peak_rss_bytes": \([0-9]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+if [ -z "$alg_bytes" ] || [ -z "$lut_bytes" ]; then
+  echo "ERROR: paper_scale_8192 route-table rows missing from" \
+    "BENCH_engine.json" >&2
+  exit 1
+fi
+if ! awk -v alg="$alg_bytes" -v lut="$lut_bytes" \
+  'BEGIN { exit !(lut >= 100 * (alg + 1)) }'
+then
+  echo "ERROR: route-table reduction below 100x: algebraic $alg_bytes" \
+    "bytes vs materialized $lut_bytes bytes" >&2
+  exit 1
+fi
+echo "route-table gate: algebraic $alg_bytes bytes vs materialized" \
+  "$lut_bytes bytes (>= 100x reduction); bench peak rss $peak_rss bytes"
+
+# --- PDES shard speedup gate --------------------------------------------
+# On multi-core hosts the sharded engine must actually buy wall clock:
+# the recorded K=4 row has to beat serial by >= 1.3x. Single- to
+# three-core hosts cannot meaningfully parallelize 4 shards, so the gate
+# skips loudly there instead of failing.
+host_cores=$(nproc)
+speedup_k4=$(sed -n \
+  's/.*"shards": 4,.*"speedup_vs_serial": \([0-9.]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+if [ "$host_cores" -ge 4 ]; then
+  if [ -z "$speedup_k4" ]; then
+    echo "ERROR: pdes shards=4 row missing from BENCH_engine.json" >&2
+    exit 1
+  fi
+  if ! awk -v s="$speedup_k4" 'BEGIN { exit !(s >= 1.3) }'; then
+    echo "ERROR: pdes shards=4 speedup $speedup_k4 < 1.3x on a" \
+      "$host_cores-core host" >&2
+    exit 1
+  fi
+  echo "pdes speedup gate: ${speedup_k4}x at shards=4 (>= 1.3x)"
+else
+  echo "pdes speedup gate: SKIPPED - host has $host_cores core(s)," \
+    "need >= 4 for a meaningful shards=4 wall-clock bar" \
+    "(measured ${speedup_k4:-n/a}x, informational only)"
+fi
+
 # --- Parallel sweep benchmark -------------------------------------------
 jobs=$(nproc)
 tmp_dir=$(mktemp -d)
@@ -191,6 +244,62 @@ then
   exit 1
 fi
 echo "pdes: table and metrics byte-identical at par-shards=1 and 8"
+
+# --- Route-table ablation gate ------------------------------------------
+# Algebraic next-hop arithmetic is the default; replaying the same grid
+# with --route-table=materialized (the full O(S*N) LUT) must print an
+# identical table and produce an identical metrics document — routing
+# decisions, and therefore every simulated byte, cannot depend on how the
+# next hop is stored.
+echo "route-table: materialized-LUT replay (--route-table=materialized)"
+"$build_dir/tools/rvma_run" "$tmp_dir/fig8_grid.json" --jobs=1 \
+  --route-table=materialized \
+  --metrics="$tmp_dir/lut_metrics.json" > "$tmp_dir/lut.txt"
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/lut.txt" > "$tmp_dir/lut_table.txt"
+if ! diff -u "$tmp_dir/serial_table.txt" "$tmp_dir/lut_table.txt"; then
+  echo "ERROR: --route-table=materialized changed the fig8 table" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp_dir/serial_metrics.json" "$tmp_dir/lut_metrics.json"; then
+  echo "ERROR: --route-table=materialized changed the metrics document" >&2
+  exit 1
+fi
+echo "route-table: table and metrics byte-identical algebraic vs materialized"
+
+# --- Paper-scale smoke gate ---------------------------------------------
+# One 8,192-rank fig8-style cell (torus3d-static, halo3d, RVMA) must run
+# to completion through rvma_run inside a wall-time and memory budget.
+# Construction is reported separately from simulation via --timing; the
+# budgets (60 s wall, 1 GiB RSS) are ~100x headroom over the measured
+# 0.4 s / 120 MiB so the gate catches regressions in kind, not noise.
+echo "paper-scale: 8192-rank torus halo3d cell via rvma_run"
+printf '{"format": "rvma-scenario-v1", "scenario": {}}\n' \
+  > "$tmp_dir/paper_cell.json"
+paper_start=$(date +%s)
+"$build_dir/tools/rvma_run" "$tmp_dir/paper_cell.json" \
+  --topology=torus3d --routing=static --nodes=8192 --transport=rvma \
+  --motif=halo3d --motif.nx=4 --motif.ny=4 --motif.nz=4 --motif.vars=4 \
+  --motif.iterations=1 --motif.compute_per_cell=50ps --timing \
+  > "$tmp_dir/paper_cell.txt" 2> "$tmp_dir/paper_cell_timing.txt"
+paper_wall=$(( $(date +%s) - paper_start ))
+cat "$tmp_dir/paper_cell_timing.txt"
+if ! grep -q '^  packets: [1-9][0-9]* injected' "$tmp_dir/paper_cell.txt"; then
+  echo "ERROR: 8192-rank cell delivered no packets" >&2
+  exit 1
+fi
+if [ "$paper_wall" -gt 60 ]; then
+  echo "ERROR: 8192-rank cell took ${paper_wall}s (budget 60s)" >&2
+  exit 1
+fi
+paper_rss=$(sed -n 's/.*peak_rss \([0-9]*\) bytes.*/\1/p' \
+  "$tmp_dir/paper_cell_timing.txt")
+if [ -n "$paper_rss" ] && [ "$paper_rss" -gt 1073741824 ]; then
+  echo "ERROR: 8192-rank cell peak rss $paper_rss bytes (budget 1 GiB)" >&2
+  exit 1
+fi
+echo "paper-scale: completed in ${paper_wall}s, peak rss" \
+  "${paper_rss:-unknown} bytes (budgets: 60s, 1 GiB)"
 
 cat "$tmp_dir/parallel.txt"
 echo "wrote $repo_root/BENCH_sweep.json"

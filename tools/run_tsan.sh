@@ -24,11 +24,13 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRVMA_SANITIZE=thread
 cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs test_scenario test_pdes \
+  test_routing_algebra test_express_exactness test_nic test_obs \
+  test_scenario test_pdes \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
-  test_express_exactness test_nic test_obs test_scenario test_pdes
+  test_routing_algebra test_express_exactness test_nic test_obs \
+  test_scenario test_pdes
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"

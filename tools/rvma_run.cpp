@@ -68,6 +68,7 @@ int run_single(const std::string& text, int argc, char** argv) {
     return 2;
   }
   const bool print_only = cli.get_bool("print", false);
+  const bool want_timing = cli.get_bool("timing", false);
   for (const auto& key : cli.unconsumed()) {
     std::fprintf(stderr, "unknown option --%s\n", key.c_str());
     return 2;
@@ -82,9 +83,20 @@ int run_single(const std::string& text, int argc, char** argv) {
   }
 
   ScenarioResult result;
-  if (!run_scenario(spec, &result, &error)) {
+  RunTiming timing;
+  if (!run_scenario(spec, &result, &error, nullptr, 0,
+                    want_timing ? &timing : nullptr)) {
     std::fprintf(stderr, "rvma_run: %s\n", error.c_str());
     return 1;
+  }
+  if (want_timing) {
+    // Wall clocks and memory go to stderr: stdout is the deterministic
+    // summary that run_bench byte-diffs across jobs/shards/ablations.
+    std::fprintf(stderr,
+                 "timing: construct %.3f s, simulate %.3f s, "
+                 "route_table %zu bytes, peak_rss %zu bytes\n",
+                 timing.construct_wall_s, timing.sim_wall_s,
+                 timing.route_table_bytes, timing.peak_rss_bytes);
   }
 
   // Deterministic summary: simulated quantities only, no wall clock, so
