@@ -28,6 +28,8 @@
 #include "motifs/halo3d.hpp"
 #include "motifs/runner.hpp"
 #include "motifs/rvma_transport.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 // ------------------------------------------------------------------
@@ -71,8 +73,14 @@ struct RunStats {
   std::uint64_t events = 0;
 };
 
-RunStats bench_chain(std::uint64_t n) {
+/// `with_recorder` attaches an armed flight recorder for the whole run.
+/// The chain workload hits no frecord() sites, so this measures exactly
+/// what the recorder contract promises: an armed ring must not slow the
+/// event loop itself (run_bench.sh bounds the delta at 5%).
+RunStats bench_chain(std::uint64_t n, bool with_recorder = false) {
   Engine engine;
+  rvma::obs::FlightRecorder recorder;
+  if (with_recorder) engine.set_flight_recorder(&recorder);
   HopPayload payload{};
   std::uint64_t remaining = n;
   std::uint64_t sink = 0;
@@ -173,8 +181,12 @@ struct FabricStatsOut {
 /// contention, the express fallback's worst case).
 enum class Pattern { kRing, kIncast };
 
+/// `record` arms the cluster's flight recorder, so every message/packet
+/// actually writes span records (the armed-and-recording cost, as opposed
+/// to bench_chain's armed-but-idle cost).
 FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes,
-                            Pattern pattern, bool express) {
+                            Pattern pattern, bool express,
+                            bool record = false) {
   namespace net = rvma::net;
   namespace nic = rvma::nic;
   net::NetworkConfig cfg;
@@ -182,6 +194,7 @@ FabricStatsOut bench_fabric(std::uint64_t messages, std::uint64_t msg_bytes,
   cfg.nodes_hint = 8;
   cfg.express = express;
   rvma::cluster::Cluster cluster(cfg, nic::NicParams{});
+  if (record) cluster.arm_flight_recorder();
   const int n = cluster.num_nodes();
   // Each sender keeps a small window of messages in flight and re-arms when
   // the *last packet of a message is delivered* (not when it is injected:
@@ -249,7 +262,26 @@ struct ShardRow {
   double wall_seconds = 0;
   double speedup = 1.0;   ///< vs the shards=1 row
   rvma::Time makespan = 0;
+  rvma::obs::MetricsSnapshot profile;  ///< collect_pdes_profile() of the run
 };
+
+std::uint64_t profile_counter(const rvma::obs::MetricsSnapshot& snap,
+                              const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+std::int64_t profile_gauge(const rvma::obs::MetricsSnapshot& snap,
+                           const std::string& name) {
+  const auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0 : it->second;
+}
+
+const rvma::obs::HistogramSnapshot* profile_hist(
+    const rvma::obs::MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.histograms.find(name);
+  return it == snap.histograms.end() ? nullptr : &it->second;
+}
 
 /// PDES shard scaling: the same 512-node halo exchange run serially and
 /// with 2/4/8 shards. The makespan must be identical at every K (the
@@ -280,6 +312,10 @@ std::vector<ShardRow> bench_pdes_shards() {
   std::vector<ShardRow> rows;
   for (int k : {1, 2, 4, 8}) {
     Cluster cluster(cfg, nic::NicParams{}, k);
+    // Profile the timed run itself: per-window steady_clock reads are
+    // noise next to window execution, and the profile then describes
+    // exactly the run whose speedup is reported.
+    cluster.enable_pdes_profiling();
     RvmaTransport transport(cluster, rvma::core::RvmaParams{});
     const auto t0 = std::chrono::steady_clock::now();
     const auto result =
@@ -289,6 +325,7 @@ std::vector<ShardRow> bench_pdes_shards() {
     row.effective = cluster.num_shards();
     row.wall_seconds = seconds_since(t0);
     row.makespan = result.makespan;
+    row.profile = cluster.collect_pdes_profile();
     row.speedup = rows.empty() ? 1.0
                                : rows.front().wall_seconds / row.wall_seconds;
     if (!rows.empty() && row.makespan != rows.front().makespan) {
@@ -384,6 +421,12 @@ int main(int argc, char** argv) {
       bench_fabric(20'000, 64 * 1024, Pattern::kIncast, true);
   const FabricStatsOut incast_hop =
       bench_fabric(20'000, 64 * 1024, Pattern::kIncast, false);
+  // Flight-recorder overhead: armed-but-idle on the chain (the event
+  // loop must not slow down) and armed-and-recording on the fabric (the
+  // real per-span cost). run_bench.sh bounds the chain delta at 5%.
+  const RunStats chain_rec = bench_chain(4'000'000, /*with_recorder=*/true);
+  const FabricStatsOut fabric_rec =
+      bench_fabric(40'000, 64 * 1024, Pattern::kRing, true, /*record=*/true);
   const std::vector<ShardRow> shards = bench_pdes_shards();
   const PaperScaleRow paper_alg =
       bench_paper_scale(rvma::net::RouteTable::kAlgebraic);
@@ -401,6 +444,10 @@ int main(int argc, char** argv) {
   const double speedup = chain.events_per_sec / kBaselineChainEventsPerSec;
   const double express_speedup =
       fabric.packets_per_sec / fabric_hop.packets_per_sec;
+  const double recorder_chain_overhead_pct =
+      100.0 * (1.0 - chain_rec.events_per_sec / chain.events_per_sec);
+  const double recorder_fabric_overhead_pct =
+      100.0 * (1.0 - fabric_rec.packets_per_sec / fabric.packets_per_sec);
 
   std::printf("chain : %.2fM events/s, %.3f allocs/event\n",
               chain.events_per_sec / 1e6, chain.allocs_per_event);
@@ -417,12 +464,35 @@ int main(int argc, char** argv) {
               fabric_hop.packets_per_sec / 1e6, express_speedup);
   std::printf("incast: %.2fM packets/s express, %.2fM packets/s hop-by-hop\n",
               incast.packets_per_sec / 1e6, incast_hop.packets_per_sec / 1e6);
+  std::printf(
+      "recorder: chain %.2fM events/s armed (%.2f%% overhead), "
+      "fabric %.2fM packets/s recording (%.2f%% overhead)\n",
+      chain_rec.events_per_sec / 1e6, recorder_chain_overhead_pct,
+      fabric_rec.packets_per_sec / 1e6, recorder_fabric_overhead_pct);
   for (const ShardRow& row : shards) {
     std::printf(
         "pdes  : shards=%d (effective %d) %.3fs wall, %.2fx vs serial, "
         "makespan %llu ps\n",
         row.shards, row.effective, row.wall_seconds, row.speedup,
         static_cast<unsigned long long>(row.makespan));
+    std::int64_t util_min = 100, util_max = 0;
+    std::uint64_t barrier_ns = 0;
+    char name[64];
+    for (int s = 0; s < row.effective; ++s) {
+      std::snprintf(name, sizeof(name), "pdes.shard%d.utilization_pct", s);
+      const std::int64_t util = profile_gauge(row.profile, name);
+      util_min = util < util_min ? util : util_min;
+      util_max = util > util_max ? util : util_max;
+      std::snprintf(name, sizeof(name), "pdes.shard%d.barrier_wall_ns", s);
+      barrier_ns += profile_counter(row.profile, name);
+    }
+    std::printf(
+        "        profile: %llu windows, utilization %lld-%lld%%, "
+        "barrier wait %.3f ms total\n",
+        static_cast<unsigned long long>(
+            profile_counter(row.profile, "pdes.windows")),
+        static_cast<long long>(util_min), static_cast<long long>(util_max),
+        static_cast<double>(barrier_ns) / 1e6);
   }
   for (const PaperScaleRow* row : {&paper_alg, &paper_lut}) {
     std::printf(
@@ -475,6 +545,17 @@ int main(int argc, char** argv) {
                fabric_hop.packets_per_sec, fabric_hop.allocs_per_packet,
                incast.packets_per_sec, incast_hop.packets_per_sec,
                incast.allocs_per_packet);
+  // Key names must not collide with the "current" block's: run_bench.sh
+  // extracts gate inputs with `sed | tail -n 1` over the whole file.
+  std::fprintf(f,
+               "  \"recorder\": {\n"
+               "    \"armed_chain_events_per_sec\": %.0f,\n"
+               "    \"chain_overhead_pct\": %.2f,\n"
+               "    \"recording_fabric_packets_per_sec\": %.0f,\n"
+               "    \"fabric_overhead_pct\": %.2f\n"
+               "  },\n",
+               chain_rec.events_per_sec, recorder_chain_overhead_pct,
+               fabric_rec.packets_per_sec, recorder_fabric_overhead_pct);
   std::fprintf(f, "  \"pdes_shards\": [\n");
   for (std::size_t i = 0; i < shards.size(); ++i) {
     const ShardRow& row = shards[i];
@@ -485,6 +566,45 @@ int main(int argc, char** argv) {
                  row.shards, row.effective, row.wall_seconds, row.speedup,
                  static_cast<unsigned long long>(row.makespan),
                  i + 1 < shards.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"pdes_profile\": [\n");
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardRow& row = shards[i];
+    const rvma::obs::HistogramSnapshot* stride =
+        profile_hist(row.profile, "pdes.window_stride_ps");
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"windows\": %llu, "
+                 "\"window_stride_ps_mean\": %.0f, \"per_shard\": [\n",
+                 row.effective,
+                 static_cast<unsigned long long>(
+                     profile_counter(row.profile, "pdes.windows")),
+                 stride != nullptr ? stride->mean() : 0.0);
+    char name[64];
+    for (int s = 0; s < row.effective; ++s) {
+      std::snprintf(name, sizeof(name), "pdes.shard%d.busy_wall_ns", s);
+      const std::uint64_t busy = profile_counter(row.profile, name);
+      std::snprintf(name, sizeof(name), "pdes.shard%d.barrier_wall_ns", s);
+      const std::uint64_t barrier = profile_counter(row.profile, name);
+      std::snprintf(name, sizeof(name), "pdes.shard%d.items_drained", s);
+      const std::uint64_t drained = profile_counter(row.profile, name);
+      std::snprintf(name, sizeof(name), "pdes.shard%d.utilization_pct", s);
+      const std::int64_t util = profile_gauge(row.profile, name);
+      std::snprintf(name, sizeof(name), "pdes.shard%d.drain_depth", s);
+      const rvma::obs::HistogramSnapshot* depth =
+          profile_hist(row.profile, name);
+      std::fprintf(f,
+                   "      {\"shard\": %d, \"busy_wall_ns\": %llu, "
+                   "\"barrier_wall_ns\": %llu, \"items_drained\": %llu, "
+                   "\"utilization_pct\": %lld, \"drain_depth_max\": %llu}%s\n",
+                   s, static_cast<unsigned long long>(busy),
+                   static_cast<unsigned long long>(barrier),
+                   static_cast<unsigned long long>(drained),
+                   static_cast<long long>(util),
+                   static_cast<unsigned long long>(depth != nullptr ? depth->max
+                                                                    : 0),
+                   s + 1 < row.effective ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", i + 1 < shards.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"paper_scale_8192\": {\n");
   for (const PaperScaleRow* row : {&paper_alg, &paper_lut}) {

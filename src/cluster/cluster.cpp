@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <new>
 
 #include "common/log.hpp"
@@ -251,6 +252,57 @@ net::FabricStats Cluster::fabric_stats() const {
     total.express_remats += fs.express_remats;
   }
   return total;
+}
+
+void Cluster::arm_flight_recorder(std::size_t capacity_per_shard) {
+  recorders_.clear();
+  recorders_.reserve(shards_.size());
+  for (auto& sh : shards_) {
+    recorders_.push_back(
+        std::make_unique<obs::FlightRecorder>(capacity_per_shard));
+    sh->engine.set_flight_recorder(recorders_.back().get());
+  }
+}
+
+bool Cluster::write_flight_dump(const std::string& path,
+                                std::string* error) const {
+  std::vector<const obs::FlightRecorder*> recs;
+  recs.reserve(recorders_.size());
+  for (const auto& r : recorders_) recs.push_back(r.get());
+  return obs::write_flight_file(path, recs, error);
+}
+
+void Cluster::enable_pdes_profiling() {
+  if (sharded()) sharded_.enable_profiling(true);
+}
+
+obs::MetricsSnapshot Cluster::collect_pdes_profile() const {
+  obs::MetricsRegistry reg;
+  const int k = num_shards();
+  reg.counter("pdes.shards").inc(static_cast<std::uint64_t>(k));
+  reg.counter("pdes.lookahead_ps").inc(lookahead_);
+  reg.counter("pdes.windows").inc(sharded_.windows_executed());
+  reg.histogram("pdes.window_stride_ps").merge(sharded_.window_stride_ps());
+  char name[64];
+  for (int s = 0; s < k; ++s) {
+    const bool have = sharded() && sharded_.profiling();
+    // A serial cluster has no barriers: its one shard is 100% busy by
+    // definition, which keeps the K=1 row comparable in bench sweeps.
+    const sim::ShardedEngine::ShardProfile* prof =
+        have ? &sharded_.profile(s) : nullptr;
+    std::snprintf(name, sizeof(name), "pdes.shard%d.busy_wall_ns", s);
+    reg.counter(name).inc(prof != nullptr ? prof->busy_wall_ns : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.barrier_wall_ns", s);
+    reg.counter(name).inc(prof != nullptr ? prof->barrier_wall_ns : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.items_drained", s);
+    reg.counter(name).inc(prof != nullptr ? prof->items_drained : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.utilization_pct", s);
+    reg.gauge(name).set(static_cast<std::int64_t>(
+        prof != nullptr ? prof->utilization_pct() : 100.0));
+    std::snprintf(name, sizeof(name), "pdes.shard%d.drain_depth", s);
+    if (prof != nullptr) reg.histogram(name).merge(prof->drain_depth);
+  }
+  return reg.snapshot();
 }
 
 obs::MetricsSnapshot Cluster::collect_metrics() const {

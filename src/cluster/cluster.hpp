@@ -20,10 +20,12 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "net/topology.hpp"
 #include "nic/nic.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "sim/engine.hpp"
@@ -95,6 +97,37 @@ class Cluster {
   /// values are stamped into the snapshot, not accumulated.
   obs::MetricsSnapshot collect_metrics() const;
 
+  /// Arm the span-based flight recorder: one fixed-capacity ring per
+  /// shard, attached to that shard's engine so record() stays
+  /// single-threaded. Purely passive — arming changes no simulation
+  /// output (see obs/flight_recorder.hpp). Call before running.
+  void arm_flight_recorder(
+      std::size_t capacity_per_shard = obs::FlightRecorder::kDefaultCapacity);
+  bool flight_recorder_armed() const { return !recorders_.empty(); }
+  obs::FlightRecorder* flight_recorder_for_shard(int k) {
+    return recorders_.empty() ? nullptr
+                              : recorders_[static_cast<std::size_t>(k)].get();
+  }
+
+  /// Write the armed recorders' rings as one multi-shard "RVFR1" dump.
+  /// Shard sections are written in shard order; readers merge by
+  /// (time, shard, index), which is deterministic.
+  bool write_flight_dump(const std::string& path,
+                         std::string* error = nullptr) const;
+
+  /// Arm PDES runtime profiling of the windowed loop (no-op when serial).
+  void enable_pdes_profiling();
+
+  /// Per-shard PDES runtime profile as rvma-metrics-v1 instruments:
+  /// pdes.windows / pdes.window_stride_ps (deterministic) plus per-shard
+  /// pdes.shard<k>.{busy_wall_ns, barrier_wall_ns, items_drained,
+  /// utilization_pct, drain_depth}. Wall-clock values differ run to run —
+  /// this snapshot is intentionally separate from collect_metrics() so
+  /// the run metrics stay byte-identical across jobs/shard counts. A
+  /// serial cluster reports one shard at 100% utilization, zero barrier
+  /// wait.
+  obs::MetricsSnapshot collect_pdes_profile() const;
+
  private:
   /// Everything one shard owns. Declaration order is lifetime order: the
   /// registry and engine must outlive the network/NICs holding pointers
@@ -134,6 +167,8 @@ class Cluster {
   std::vector<std::unique_ptr<NicSlab>> nic_slabs_;  ///< one per shard
   std::vector<nic::Nic*> nics_;  ///< node -> NIC, non-owning (slab storage)
   std::unique_ptr<obs::Sampler> sampler_;  ///< serial clusters only
+  /// One recorder per shard when armed (index == shard id), else empty.
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
   Time lookahead_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "common/trace.hpp"
 
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 
@@ -10,20 +11,40 @@ Tracer& Tracer::global() {
   return tracer;
 }
 
+void Tracer::assert_quiescent() const {
+  assert(in_flight_.load(std::memory_order_acquire) == 0 &&
+         "Tracer reconfigured while record() is in flight — reconfigure "
+         "sinks only while no simulation is running");
+}
+
 bool Tracer::open(const std::string& path) {
   close();
   events_.store(0, std::memory_order_relaxed);
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) return false;
-  file_ = file;
+  file_.store(file, std::memory_order_release);
   return true;
 }
 
 void Tracer::close() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    file_ = nullptr;
-  }
+  assert_quiescent();
+  std::FILE* file = file_.exchange(nullptr, std::memory_order_acq_rel);
+  if (file != nullptr) std::fclose(file);
+  buffered_ = false;
+  buffer_.clear();
+}
+
+void Tracer::open_buffer() {
+  close();
+  events_.store(0, std::memory_order_relaxed);
+  buffered_ = true;
+}
+
+void Tracer::write_line(std::string_view line) {
+  std::FILE* file = file_.load(std::memory_order_acquire);
+  if (file == nullptr || line.empty()) return;
+  std::fwrite(line.data(), 1, line.size(), file);
+  events_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Tracer::record(Time now, std::string_view event,
@@ -33,7 +54,15 @@ void Tracer::record(Time now, std::string_view event,
 
 void Tracer::record(Time now, std::string_view event, std::int64_t eng,
                     std::initializer_list<Field> fields) {
-  if (file_ == nullptr) return;
+  // In-flight guard: reconfiguration (open/close) asserts this is zero,
+  // so a sink can never be swapped out from under an active record().
+  in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  struct Guard {
+    std::atomic<std::int32_t>& n;
+    ~Guard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+  } guard{in_flight_};
+  std::FILE* file = file_.load(std::memory_order_acquire);
+  if (file == nullptr && !buffered_) return;
   // Format the whole line locally and emit it with one fwrite: FILE*
   // writes are locked, so lines from concurrent engines sharing this sink
   // never interleave mid-record.
@@ -68,7 +97,13 @@ void Tracer::record(Time now, std::string_view event, std::int64_t eng,
   }
   buf[len++] = '}';
   buf[len++] = '\n';
-  std::fwrite(buf, 1, static_cast<std::size_t>(len), file_);
+  if (buffered_) {
+    // Buffer mode is single-threaded by contract (one tracer per shard
+    // engine), so plain string append is safe.
+    buffer_.append(buf, static_cast<std::size_t>(len));
+  } else {
+    std::fwrite(buf, 1, static_cast<std::size_t>(len), file);
+  }
   events_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -9,9 +9,13 @@
 // Thread safety: record() formats each line into a stack buffer and hands
 // it to the FILE* with a single locked fwrite, and the event counter is
 // atomic — so several engines running concurrently (SweepExecutor jobs)
-// may share one sink without interleaving partial lines. open()/close()
-// are not synchronized against concurrent record() calls; reconfigure
-// sinks only while no simulation is running.
+// may share one sink without interleaving partial lines. The sink pointer
+// itself is atomic and reconfiguration (open/close/open_buffer) asserts
+// that no record() call is in flight: reconfiguring a sink that a running
+// simulation still writes to is a caller bug, and it now trips an assert
+// instead of racing a dangling FILE*. Buffer mode (open_buffer) is
+// single-threaded by contract — each sharded engine gets its own
+// buffered tracer (cluster runs merge them deterministically at run end).
 #pragma once
 
 #include <atomic>
@@ -52,10 +56,24 @@ class Tracer {
 
   /// Open (truncate) `path` as the sink. On failure the tracer is fully
   /// closed and the event counter reset — never stale state from a
-  /// previous session.
+  /// previous session. Asserts no record() is in flight.
   bool open(const std::string& path);
   void close();
-  bool enabled() const { return file_ != nullptr; }
+
+  /// Record into an in-memory JSONL buffer instead of a file. Buffered
+  /// tracers are single-threaded by contract (one per shard engine);
+  /// ScenarioRunner merges shard buffers into the armed sink at run end,
+  /// sorted by (time, shard, line index).
+  void open_buffer();
+  const std::string& buffer() const { return buffer_; }
+
+  /// Append one already-formatted JSONL line (newline included) to the
+  /// file sink, counting it as one event — the shard-merge write path.
+  void write_line(std::string_view line);
+
+  bool enabled() const {
+    return buffered_ || file_.load(std::memory_order_relaxed) != nullptr;
+  }
 
   /// Emit {"t":<ps>,"ev":"<event>",<fields...>} as one atomic write.
   /// String field values must not contain quotes, backslashes, or control
@@ -78,8 +96,15 @@ class Tracer {
   static Tracer& global();
 
  private:
-  std::FILE* file_ = nullptr;
+  /// Asserts that no record() call is active — reconfiguration while a
+  /// simulation is writing is a caller bug, not a tolerated race.
+  void assert_quiescent() const;
+
+  std::atomic<std::FILE*> file_ = nullptr;
   std::atomic<std::uint64_t> events_ = 0;
+  std::atomic<std::int32_t> in_flight_ = 0;  ///< record() calls active
+  bool buffered_ = false;
+  std::string buffer_;  ///< JSONL lines when buffered_
 };
 
 /// Open the global tracer from RVMA_TRACE, if set.

@@ -66,6 +66,7 @@ RvmaEndpoint::RvmaEndpoint(nic::Nic& nic, const RvmaParams& params,
   c_counters_acquired_ = &m.counter("rvma.nic_counters_acquired");
   c_counters_released_ = &m.counter("rvma.nic_counters_released");
   h_completion_latency_ns_ = &m.histogram("rvma.completion_latency_ns");
+  h_mailbox_ooo_degree_ = &m.histogram("rvma.mailbox_ooo_degree");
   nic_.register_proto(
       nic::kProtoRvma,
       [this](const net::Packet& pkt) { handle_packet(pkt); }, pid_);
@@ -437,6 +438,13 @@ void RvmaEndpoint::process_put(const net::Packet& pkt, Mailbox& mb,
     msg_arrived_.erase(pkt.msg->id);
     ++stats_.puts_received;
     c_puts_->inc();
+    // Message::id packs (src_node << 40) | per-sender post counter, so the
+    // low 40 bits order this sender's posts; the mailbox turns them into
+    // an arrival-vs-post out-of-order degree.
+    h_mailbox_ooo_degree_->record(
+        mb.ooo_degree(pkt.src, pkt.msg->id & ((std::uint64_t{1} << 40) - 1)));
+    RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kMbMatch, pkt.msg->id,
+              node(), static_cast<std::int64_t>(mb.vaddr()));
     if (mb.has_active()) {
       PostedBuffer& buf = mb.active();
       ++buf.ops_received;
@@ -492,6 +500,8 @@ void RvmaEndpoint::complete_active(Mailbox& mb, bool soft) {
                {"epoch", mb.epoch()},
                {"soft", soft ? 1 : 0},
                {"lat_ps", static_cast<std::int64_t>(lat)}});
+  RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kCompletion, vaddr, node(),
+            static_cast<std::int64_t>(lat));
   if (mb.has_active()) {
     assign_counter(mb.active());
   }

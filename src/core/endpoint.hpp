@@ -201,6 +201,7 @@ class RvmaEndpoint {
   obs::Counter* c_counters_acquired_;
   obs::Counter* c_counters_released_;
   obs::Histogram* h_completion_latency_ns_;
+  obs::Histogram* h_mailbox_ooo_degree_;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Mailbox>> lut_;
   std::unordered_map<std::uint64_t, std::vector<NotifyFn>> waiters_;

@@ -12,6 +12,7 @@
 #include <deque>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -143,6 +144,23 @@ class Mailbox {
   const std::vector<RetiredBuffer>& retired() const { return retired_; }
   std::uint64_t completed_count() const { return completed_count_; }
 
+  /// Out-of-order degree of an arriving message (the Eunomia metric,
+  /// ROADMAP item 3): how far behind the highest per-sender post counter
+  /// already seen at this mailbox the message is. `counter` is the
+  /// sender's monotone message counter (the low bits of Message::id). A
+  /// message overtaken by k later-posted messages from the same sender
+  /// reports degree k; in-order arrivals — including arrival with gaps,
+  /// when intervening posts targeted other mailboxes — report 0.
+  /// Deterministic: arrival order is a pure function of the simulation.
+  std::uint64_t ooo_degree(std::int32_t src, std::uint64_t counter) {
+    std::uint64_t& high = ooo_high_[src];
+    if (counter >= high) {
+      high = counter;
+      return 0;
+    }
+    return high - counter;
+  }
+
  private:
   std::uint64_t vaddr_;
   std::int64_t threshold_;
@@ -156,6 +174,8 @@ class Mailbox {
   std::int64_t epoch_ = 0;
   std::uint64_t completed_count_ = 0;
   bool closed_ = false;
+  /// Highest per-sender post counter seen so far, for ooo_degree().
+  std::unordered_map<std::int32_t, std::uint64_t> ooo_high_;
 };
 
 }  // namespace rvma::core

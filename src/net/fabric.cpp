@@ -240,6 +240,9 @@ void Fabric::inject(Packet&& pkt) {
     pkt.res_seq = engine_.reserve_sequence(2);
     if (express_enabled_ && try_express_burst(&pkt, 1, &arrival) == 1) return;
   }
+  // Express-committed packets record kExpressCommit in phase C instead.
+  RVMA_FREC(engine_, pkt.injected_at, obs::SpanKind::kTxInject, pkt.msg->id,
+            pkt.src, static_cast<std::int64_t>(pkt.seq));
   ++hop_inflight_;
   const std::uint64_t tie = packet_tie(pkt);
   engine_.schedule_at_ranked(arrival, engine_.now(), tie,
@@ -300,6 +303,15 @@ void Fabric::inject_burst(std::vector<Packet>& pkts) {
     return;
   }
   hop_inflight_ += static_cast<std::int64_t>(pkts.size() - i);
+  if (engine_.recording_enabled()) {
+    // The committed prefix recorded kExpressCommit in phase C; the suffix
+    // takes the hop path.
+    for (std::size_t k = i; k < pkts.size(); ++k) {
+      engine_.frecord(pkts[k].injected_at, obs::SpanKind::kTxInject,
+                      pkts[k].msg->id, pkts[k].src,
+                      static_cast<std::int64_t>(pkts[k].seq));
+    }
+  }
   auto burst = std::make_unique<Burst>();
   burst->sw = at.sw;
   if (i == 0) {
@@ -491,6 +503,9 @@ std::size_t Fabric::try_express_burst(Packet* pkts, std::size_t n,
   }
   for (std::size_t k = 0; k < m; ++k) {
     pkts[k].hops = static_cast<std::uint16_t>(pkts[k].hops + nh);
+    RVMA_FREC(engine_, pkts[k].injected_at, obs::SpanKind::kExpressCommit,
+              pkts[k].msg->id, pkts[k].src,
+              static_cast<std::int64_t>(pkts[k].seq));
     r.pkts.push_back(std::move(pkts[k]));
     r.arrivals.push_back(arrivals[k]);
     r.delivers.push_back(scratch_delivers_[k]);
@@ -565,6 +580,10 @@ void Fabric::deliver_stats(const Packet& pkt, Time deliver_at) {
                {"hops", pkt.hops},
                {"lat_ps",
                 static_cast<std::int64_t>(deliver_at - pkt.injected_at)}});
+  // `deliver_at` is the true delivery instant even when this runs inside
+  // a later folded event, so the recorded span is fold-invariant.
+  RVMA_FREC(engine_, deliver_at, obs::SpanKind::kPktDeliver, pkt.msg->id,
+            pkt.dst, static_cast<std::int64_t>(pkt.seq));
 }
 
 void Fabric::express_event(std::uint32_t idx) {
@@ -953,6 +972,8 @@ void Fabric::deliver(NodeId node, Packet&& pkt) {
                {"hops", pkt.hops},
                {"lat_ps", static_cast<std::int64_t>(engine_.now() -
                                                     pkt.injected_at)}});
+  RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kPktDeliver, pkt.msg->id,
+            pkt.dst, static_cast<std::int64_t>(pkt.seq));
   NodeAttach& at = node_attach_[node];
   assert(at.delivery && "packet delivered to node without a NIC");
   at.delivery(std::move(pkt));

@@ -39,6 +39,8 @@ void Nic::send(Message msg, SendDone on_sent) {
   msg.created_at = engine_.now();
   ++messages_sent_;
   c_messages_sent_->inc();
+  RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kMsgPost, msg.id, node_,
+            static_cast<std::int64_t>(msg.bytes));
 
   // Move the descriptor into its pooled shared slot now: the closure below
   // captures an 8-byte handle instead of the whole Message, keeping the
@@ -56,6 +58,8 @@ void Nic::send(Message msg, SendDone on_sent) {
         network_.fabric().injection_backlog(node_) > params_.tx_queue_limit) {
       ++tx_queue_stalls_;
       c_tx_queue_stalls_->inc();
+      RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kTxQueue, mref->id,
+                node_, static_cast<std::int64_t>(tx_queue_.size()));
       tx_queue_.emplace_back(std::move(mref), std::move(on_sent));
       drain_tx_queue();
       return;
@@ -159,18 +163,18 @@ void Nic::handle_delivery(Packet&& pkt) {
   if (pkt.res_seq == net::kRemoteResSeq) {
     engine_.schedule_at_ranked(engine_.now() + params_.rx_proc, rank, tie,
                                [this, proto, pid, pkt = std::move(pkt)]() {
-                                 dispatch_[proto][pid](pkt);
+                                 dispatch_packet(proto, pid, pkt);
                                });
   } else if (pkt.res_seq != net::kNoResSeq) {
     const std::uint64_t seq = pkt.res_seq + 1;
     engine_.schedule_at_seq(engine_.now() + params_.rx_proc, seq, rank, tie,
                             [this, proto, pid, pkt = std::move(pkt)]() {
-                              dispatch_[proto][pid](pkt);
+                              dispatch_packet(proto, pid, pkt);
                             });
   } else {
     engine_.schedule_at_ranked(engine_.now() + params_.rx_proc, rank, tie,
                                [this, proto, pid, pkt = std::move(pkt)]() {
-                                 dispatch_[proto][pid](pkt);
+                                 dispatch_packet(proto, pid, pkt);
                                });
   }
 }
@@ -193,6 +197,17 @@ void Nic::express_rx(Packet&& pkt) {
                   proto, pid);
     return;
   }
+  dispatch_packet(proto, pid, pkt);
+}
+
+void Nic::dispatch_packet(std::uint32_t proto, net::Pid pid,
+                          const Packet& pkt) {
+  // Fires at the same simulated instant on both rx paths: the unfolded
+  // pipeline's dispatch event runs at deliver + rx_proc, and the folded
+  // express event is scheduled at exactly that time, so the recorded
+  // rx-dispatch span instant is fold-invariant.
+  RVMA_FREC(engine_, engine_.now(), obs::SpanKind::kRxDispatch, pkt.msg->id,
+            node_, static_cast<std::int64_t>(pkt.seq));
   dispatch_[proto][pid](pkt);
 }
 

@@ -124,9 +124,19 @@ bool run_grid(const GridSpec& grid, int jobs, std::vector<GridCell>* out,
         const TopoCase& tc = cases[case_index];
         ScenarioResult result;
         std::string run_error;
+        ScenarioSpec spec =
+            expand_cell(grid, tc, case_index, speed_index, use_rvma);
+        // Observability outputs get a per-run suffix: a grid produces one
+        // dump/profile per cell half, named by the (stable) run index, so
+        // parallel workers never race on one file.
+        if (!spec.flight_recorder_path.empty()) {
+          spec.flight_recorder_path += ".run" + std::to_string(i);
+        }
+        if (!spec.pdes_profile_path.empty()) {
+          spec.pdes_profile_path += ".run" + std::to_string(i);
+        }
         const bool ok = run_scenario(
-            expand_cell(grid, tc, case_index, speed_index, use_rvma), &result,
-            &run_error, /*trace_sink=*/nullptr,
+            spec, &result, &run_error, /*trace_sink=*/nullptr,
             /*eng_id=*/static_cast<std::int64_t>(i));
         assert(ok && "grid cell failed after validation");
         (void)ok;
@@ -358,6 +368,12 @@ int run_figure_cli(GridSpec grid, int argc, char** argv) {
   }
   const bool quick = cli.get_bool("quick", false);
   grid.base.express = !cli.get_bool("no-express", false);
+  // Per-run observability outputs; run_grid suffixes ".run<i>" per cell
+  // half. Arming the recorder never changes the printed table or metrics.
+  grid.base.flight_recorder_path =
+      cli.get("flight-recorder", grid.base.flight_recorder_path);
+  grid.base.pdes_profile_path =
+      cli.get("pdes-profile", grid.base.pdes_profile_path);
   GridRunOptions opts;
   opts.jobs = static_cast<int>(cli.get_int("jobs", 0));
   opts.json_path = cli.get("json", "");

@@ -95,7 +95,8 @@ int run_grid_with_output(const GridSpec& grid, const GridRunOptions& opts);
 
 /// CLI driver shared by fig7_sweep3d / fig8_halo3d: parses --nodes,
 /// --rdma-slots, --quick, --no-express, --jobs, --seed, --json,
-/// --metrics, --metrics-period-us, --serial-wall-s; runs the grid and
+/// --metrics, --metrics-period-us, --serial-wall-s, --flight-recorder,
+/// --pdes-profile; runs the grid and
 /// prints the table plus a wall-clock footer. `--emit-grid=<path>`
 /// writes the configured GridSpec as a scenario-grid document (for
 /// rvma_run) instead of running it.

@@ -1,6 +1,10 @@
 #include "scenario/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
+#include <string_view>
+#include <vector>
 
 #include "common/rss.hpp"
 #include "motifs/runner.hpp"
@@ -51,6 +55,53 @@ bool resolve(const ScenarioSpec& spec, net::NetworkConfig* cfg,
   return true;
 }
 
+/// Every record() line opens {"t":<ps>, — recover <ps> for the merge key.
+Time parse_trace_time(std::string_view line) {
+  constexpr std::string_view kPrefix = "{\"t\":";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return 0;
+  Time t = 0;
+  for (std::size_t i = kPrefix.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c < '0' || c > '9') break;
+    t = t * 10 + static_cast<Time>(c - '0');
+  }
+  return t;
+}
+
+/// Merge the per-shard JSONL buffers into the armed sink, ordered by
+/// (event time, shard, per-shard line index). Each shard's buffer is
+/// already time-sorted (its engine records in execution order), so this
+/// total order is a pure function of the event timeline — the merged file
+/// is byte-identical across reruns at any thread schedule.
+void merge_shard_traces(
+    const std::vector<std::unique_ptr<Tracer>>& shard_tracers, Tracer* sink) {
+  struct Line {
+    Time t;
+    std::size_t shard;
+    std::size_t index;
+    std::string_view text;  ///< one JSONL line, '\n' included
+  };
+  std::vector<Line> lines;
+  for (std::size_t k = 0; k < shard_tracers.size(); ++k) {
+    const std::string& buffer = shard_tracers[k]->buffer();
+    std::size_t start = 0;
+    std::size_t index = 0;
+    while (start < buffer.size()) {
+      std::size_t nl = buffer.find('\n', start);
+      if (nl == std::string::npos) nl = buffer.size() - 1;
+      const std::string_view text(buffer.data() + start, nl - start + 1);
+      lines.push_back(Line{parse_trace_time(text), k, index++, text});
+      start = nl + 1;
+    }
+  }
+  std::sort(lines.begin(), lines.end(), [](const Line& a, const Line& b) {
+    if (a.t != b.t) return a.t < b.t;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.index < b.index;
+  });
+  for (const Line& line : lines) sink->write_line(line.text);
+}
+
 }  // namespace
 
 bool validate_scenario(const ScenarioSpec& spec, std::string* error) {
@@ -75,22 +126,45 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   if (!resolve(spec, &cfg, &transport_entry, &motif_entry, error))
     return false;
 
-  // Sharded execution must be exact; it is incompatible with mid-run
-  // observers, so sampling or an armed trace sink clamp back to serial
-  // here (Cluster itself additionally clamps for adaptive routing, the
-  // global tracer, and zero-lookahead topologies).
+  // Sharded execution must be exact; mid-run gauge sampling reads one
+  // shard's engine mid-window, so it clamps back to serial here (Cluster
+  // itself additionally clamps for adaptive routing, the global tracer,
+  // and zero-lookahead topologies). An armed per-run trace sink no longer
+  // clamps: sharded runs record into per-shard buffered tracers and merge
+  // them deterministically below.
   int shards = spec.par_shards;
   if (spec.sample_period > 0) shards = 1;
-  if (trace_sink != nullptr && trace_sink->enabled()) shards = 1;
   const auto t_build0 = std::chrono::steady_clock::now();
   cluster::Cluster cluster(cfg, nic::NicParams{}, shards);
   const auto t_build1 = std::chrono::steady_clock::now();
   // Stamp the run id even when keeping the process-default sink: serial
   // grids funnel every run through Tracer::global(), and without distinct
   // "eng" fields trace analyses would mix (and double-count) the runs.
-  cluster.engine().set_tracer(
-      trace_sink != nullptr ? trace_sink : cluster.engine().tracer(), eng_id);
+  std::vector<std::unique_ptr<Tracer>> shard_tracers;
+  if (trace_sink != nullptr && trace_sink->enabled() && cluster.sharded()) {
+    // Shard-safe tracing: each shard engine records into its own
+    // in-memory buffer (single-threaded by construction), merged into the
+    // armed sink after the run. The sink itself is never touched from a
+    // worker thread.
+    for (int k = 0; k < cluster.num_shards(); ++k) {
+      auto tracer = std::make_unique<Tracer>();
+      tracer->open_buffer();
+      cluster.engine_for_shard(k).set_tracer(tracer.get(), eng_id);
+      shard_tracers.push_back(std::move(tracer));
+    }
+  } else {
+    cluster.engine().set_tracer(
+        trace_sink != nullptr ? trace_sink : cluster.engine().tracer(),
+        eng_id);
+  }
   if (spec.sample_period > 0) cluster.enable_sampling(spec.sample_period);
+  if (!spec.flight_recorder_path.empty()) {
+    cluster.arm_flight_recorder(
+        spec.flight_recorder_capacity != 0
+            ? static_cast<std::size_t>(spec.flight_recorder_capacity)
+            : obs::FlightRecorder::kDefaultCapacity);
+  }
+  if (!spec.pdes_profile_path.empty()) cluster.enable_pdes_profiling();
 
   std::string build_error;
   auto programs = motif_entry->build(spec, &build_error);
@@ -104,6 +178,29 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   const motifs::MotifResult result =
       motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
   const auto t_sim1 = std::chrono::steady_clock::now();
+  if (!shard_tracers.empty()) merge_shard_traces(shard_tracers, trace_sink);
+  if (!spec.flight_recorder_path.empty()) {
+    std::string dump_error;
+    if (!cluster.write_flight_dump(spec.flight_recorder_path, &dump_error)) {
+      if (error != nullptr) *error = dump_error;
+      return false;
+    }
+  }
+  if (!spec.pdes_profile_path.empty()) {
+    obs::MetricsDoc doc;
+    doc.tool = "pdes_profile";
+    if (!spec.name.empty()) doc.meta["scenario"] = spec.name;
+    doc.meta["topology"] = spec.topology;
+    doc.meta["motif"] = spec.motif;
+    doc.meta["nodes"] = std::to_string(spec.nodes);
+    doc.meta["par_shards"] = std::to_string(cluster.num_shards());
+    doc.totals.merge(cluster.collect_pdes_profile());
+    if (!obs::write_metrics_file(doc, spec.pdes_profile_path)) {
+      if (error != nullptr)
+        *error = "cannot write pdes profile " + spec.pdes_profile_path;
+      return false;
+    }
+  }
   if (timing != nullptr) {
     const auto secs = [](auto a, auto b) {
       return std::chrono::duration<double>(b - a).count();

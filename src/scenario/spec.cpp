@@ -112,6 +112,22 @@ void append_spec_object(std::string* out, const ScenarioSpec& spec,
     out->append(",\n").append(in2).append("\"metrics\": ");
     append_quoted(out, spec.metrics_path);
   }
+  // Like route_table/par_shards: output fields default to off and are
+  // omitted then, keeping pre-existing specs' golden bytes unchanged.
+  if (!spec.flight_recorder_path.empty()) {
+    out->append(",\n").append(in2).append("\"flight_recorder\": ");
+    append_quoted(out, spec.flight_recorder_path);
+  }
+  if (spec.flight_recorder_capacity != 0) {
+    out->append(",\n")
+        .append(in2)
+        .append("\"flight_recorder_capacity\": ")
+        .append(std::to_string(spec.flight_recorder_capacity));
+  }
+  if (!spec.pdes_profile_path.empty()) {
+    out->append(",\n").append(in2).append("\"pdes_profile\": ");
+    append_quoted(out, spec.pdes_profile_path);
+  }
   out->append("\n").append(indent).append("}");
 }
 
@@ -190,6 +206,12 @@ bool parse_spec_object(const obs::JsonValue& root, ScenarioSpec* out,
       return fail("scenario: bad sample_period \"" + v->string + "\"");
   }
   if (const auto* v = root.find("metrics")) spec.metrics_path = v->string;
+  if (const auto* v = root.find("flight_recorder"))
+    spec.flight_recorder_path = v->string;
+  if (const auto* v = root.find("flight_recorder_capacity"))
+    spec.flight_recorder_capacity = v->as_u64(spec.flight_recorder_capacity);
+  if (const auto* v = root.find("pdes_profile"))
+    spec.pdes_profile_path = v->string;
   *out = std::move(spec);
   return true;
 }
@@ -341,6 +363,12 @@ bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,
       return fail("bad --sample-period \"" + text + "\"");
   }
   spec->metrics_path = cli.get("metrics", spec->metrics_path);
+  spec->flight_recorder_path =
+      cli.get("flight-recorder", spec->flight_recorder_path);
+  spec->flight_recorder_capacity = static_cast<std::uint64_t>(cli.get_int(
+      "flight-recorder-capacity",
+      static_cast<std::int64_t>(spec->flight_recorder_capacity)));
+  spec->pdes_profile_path = cli.get("pdes-profile", spec->pdes_profile_path);
   return true;
 }
 

@@ -71,6 +71,20 @@ struct ScenarioSpec {
 
   // ---- outputs ----
   std::string metrics_path;  ///< write rvma-metrics-v1 doc here when set
+  /// Write the flight recorder's binary "RVFR1" span dump here when set.
+  /// Arming the recorder is purely passive — it never changes tables,
+  /// metrics, or traces (obs/flight_recorder.hpp), so this field is an
+  /// output path, not a simulation parameter.
+  std::string flight_recorder_path;
+  /// Per-shard recorder ring capacity in records; 0 uses the default
+  /// (obs::FlightRecorder::kDefaultCapacity). Oldest records are
+  /// overwritten once the ring fills.
+  std::uint64_t flight_recorder_capacity = 0;
+  /// Write the PDES runtime profile (rvma-metrics-v1 doc: per-shard
+  /// utilization, barrier wait, window stride) here when set. Wall-clock
+  /// values differ run to run, which is why the profile is a separate
+  /// document and never part of the run metrics.
+  std::string pdes_profile_path;
 
   bool operator==(const ScenarioSpec&) const = default;
 };
@@ -110,7 +124,8 @@ bool looks_like_grid(const std::string& text);
 /// --bandwidth, --link-latency, --switch-latency, --xbar-factor,
 /// --concentration, --no-express/--express, --route-table, --transport,
 /// --rdma-slots, --motif, --motif.<param>=<value>, --seed, --par-shards,
-/// --sample-period, --metrics.
+/// --sample-period, --metrics, --flight-recorder,
+/// --flight-recorder-capacity, --pdes-profile.
 /// Flags win over file values. Returns false with *error set on
 /// unparsable values.
 bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,

@@ -45,6 +45,7 @@
 
 #include "common/trace.hpp"
 #include "common/units.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/callback.hpp"
 
 namespace rvma::obs {
@@ -104,6 +105,30 @@ class Engine {
   /// counts and tie-break order are untouched). Pass nullptr to detach.
   void set_sampler(obs::Sampler* sampler);
   obs::Sampler* sampler() const { return sampler_; }
+
+  /// Attach a flight recorder (obs/flight_recorder.hpp): a per-engine
+  /// ring of POD span records capturing each message's lifecycle
+  /// instants. Unlike the tracer, the recorder is purely passive — it
+  /// never schedules events, and NO simulation code may branch on
+  /// recording_enabled() (in particular the express fold decision stays
+  /// keyed off tracing_enabled() only) — so arming it is bit-identity-
+  /// preserving: tables and metrics are byte-identical on vs off.
+  /// Pass nullptr to detach. Each shard of a sharded cluster attaches
+  /// its own recorder, keeping record() single-threaded per ring.
+  void set_flight_recorder(obs::FlightRecorder* rec) { frec_ = rec; }
+  obs::FlightRecorder* flight_recorder() const { return frec_; }
+
+  /// Hot paths guard with this (via RVMA_FREC) before evaluating any
+  /// record arguments: a detached recorder costs one predictable branch.
+  bool recording_enabled() const { return frec_ != nullptr; }
+
+  /// Record a span instant. `t` is explicit (not now()) so paths that
+  /// know a delivery instant ahead of execution — the express fold's
+  /// stored per-packet times — record the true simulated instant.
+  void frecord(Time t, obs::SpanKind kind, std::uint64_t key,
+               std::int32_t node, std::int64_t aux) {
+    frec_->record(t, kind, key, node, aux);
+  }
 
   /// Sequence numbers handed out so far == events ever scheduled or
   /// reserved on this engine.
@@ -311,6 +336,7 @@ class Engine {
   Tracer* tracer_ = &Tracer::global();
   std::int64_t eng_id_ = 0;
   obs::Sampler* sampler_ = nullptr;
+  obs::FlightRecorder* frec_ = nullptr;
   /// Next sampling boundary; kTimeInfinity keeps the step() hook to one
   /// always-false comparison when no sampler is armed.
   Time sampler_due_ = kTimeInfinity;
@@ -325,4 +351,13 @@ class Engine {
 #define RVMA_ETRACE(eng, ...)                              \
   do {                                                     \
     if ((eng).tracing_enabled()) (eng).trace(__VA_ARGS__); \
+  } while (0)
+
+/// Flight-recorder guard, same shape as RVMA_ETRACE: argument expressions
+/// are only evaluated when a recorder is attached. The recorder must stay
+/// write-only with respect to the simulation — never branch simulation
+/// behavior on recording_enabled().
+#define RVMA_FREC(eng, ...)                                  \
+  do {                                                       \
+    if ((eng).recording_enabled()) (eng).frecord(__VA_ARGS__); \
   } while (0)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <barrier>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 namespace rvma::sim {
@@ -85,12 +86,34 @@ void ShardedEngine::compute_window() {
   // Conservative window: nothing executed in [tmin, tmin + lookahead - 1]
   // can produce a cross-shard arrival before tmin + lookahead.
   window_end_ = tmin + lookahead_;
+  if (profiling_) {
+    ++windows_;
+    // Stride = simulated time a barrier round bought. Deterministic: a
+    // pure function of the event timeline, unlike the wall clocks.
+    if (prev_window_end_ != 0) {
+      window_stride_ps_.record(window_end_ - prev_window_end_);
+    }
+    prev_window_end_ = window_end_;
+  }
+}
+
+void ShardedEngine::enable_profiling(bool on) {
+  assert(!windowed_ && "cannot toggle profiling while windows are running");
+  profiling_ = on;
+  profiles_.assign(static_cast<std::size_t>(num_shards()), ShardProfile{});
+  windows_ = 0;
+  prev_window_end_ = 0;
+  window_stride_ps_ = obs::Histogram{};
 }
 
 Time ShardedEngine::run_windowed() {
   assert(lookahead_ >= 1 && "windowed execution requires lookahead >= 1ps");
   done_ = false;
   windowed_ = true;
+  if (profiling_ &&
+      profiles_.size() != static_cast<std::size_t>(num_shards())) {
+    profiles_.assign(static_cast<std::size_t>(num_shards()), ShardProfile{});
+  }
 
   // Two barriers per window. `pre` orders last window's channel writes
   // before this window's drains; `win` runs compute_window() on one
@@ -102,6 +125,35 @@ Time ShardedEngine::run_windowed() {
   auto body = [&](int k) {
     Engine& eng = *engines_[static_cast<std::size_t>(k)];
     std::vector<Item> scratch;
+    if (profiling_) {
+      // Profiled variant of the loop below: identical barrier/drain/run
+      // structure, plus wall-clock attribution (barrier wait vs useful
+      // work) and per-drain channel-depth accounting. Wall clocks are
+      // observation only — they never influence event execution.
+      using Clock = std::chrono::steady_clock;
+      auto ns_between = [](Clock::time_point a, Clock::time_point b) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+                .count());
+      };
+      ShardProfile& prof = profiles_[static_cast<std::size_t>(k)];
+      for (;;) {
+        const auto t0 = Clock::now();
+        pre.arrive_and_wait();
+        const auto t1 = Clock::now();
+        prof.barrier_wall_ns += ns_between(t0, t1);
+        drain_incoming(k, scratch);
+        prof.items_drained += scratch.size();
+        prof.drain_depth.record(scratch.size());
+        const auto t2 = Clock::now();
+        win.arrive_and_wait();
+        const auto t3 = Clock::now();
+        prof.barrier_wall_ns += ns_between(t2, t3);
+        if (done_) return;
+        eng.run_until(window_end_ - 1);
+        prof.busy_wall_ns += ns_between(t3, Clock::now());
+      }
+    }
     for (;;) {
       pre.arrive_and_wait();
       drain_incoming(k, scratch);

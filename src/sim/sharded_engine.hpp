@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace rvma::sim {
@@ -79,6 +80,43 @@ class ShardedEngine {
 
   bool windowed() const { return windowed_; }
 
+  /// Per-shard runtime profile of the windowed loop (ISSUE: PDES runtime
+  /// profiling). Wall-clock numbers are measurement, not simulation: they
+  /// never feed back into event order, so profiling cannot perturb
+  /// results — but they do differ run to run, which is why they live in a
+  /// separate profile document, never in the run's metrics registry
+  /// (the jobs=1-vs-N and serial-vs-sharded byte-identity gates).
+  struct alignas(64) ShardProfile {
+    std::uint64_t busy_wall_ns = 0;     ///< inside run_until (working)
+    std::uint64_t barrier_wall_ns = 0;  ///< blocked on either barrier
+    std::uint64_t items_drained = 0;    ///< cross-shard arrivals admitted
+    obs::Histogram drain_depth;         ///< arrivals per window drain
+    /// busy / (busy + barrier) in percent; 100 when nothing ran.
+    double utilization_pct() const {
+      const std::uint64_t total = busy_wall_ns + barrier_wall_ns;
+      return total == 0 ? 100.0
+                        : 100.0 * static_cast<double>(busy_wall_ns) /
+                              static_cast<double>(total);
+    }
+  };
+
+  /// Arm (or disarm) windowed-loop profiling. Call before run_windowed();
+  /// costs four clock reads per shard per window when on, nothing when
+  /// off. Arming resets previously accumulated profile state.
+  void enable_profiling(bool on);
+  bool profiling() const { return profiling_; }
+
+  /// Windows executed (barrier rounds that ran a window) and the
+  /// simulated-time stride between consecutive window edges — how much
+  /// simulated time each barrier round buys. Both are deterministic
+  /// (functions of the event timeline, not of thread timing).
+  std::uint64_t windows_executed() const { return windows_; }
+  const obs::Histogram& window_stride_ps() const { return window_stride_ps_; }
+
+  const ShardProfile& profile(int k) const {
+    return profiles_[static_cast<std::size_t>(k)];
+  }
+
  private:
   struct Item {
     Time when = 0;
@@ -110,6 +148,15 @@ class ShardedEngine {
   // in the barrier); the barrier's release gives readers happens-before.
   Time window_end_ = 0;
   bool done_ = false;
+
+  // Profiling state. profiles_ elements are single-writer (each shard's
+  // worker touches only its own, cache-line padded); the globals below
+  // are written only by compute_window().
+  bool profiling_ = false;
+  std::vector<ShardProfile> profiles_;
+  std::uint64_t windows_ = 0;
+  Time prev_window_end_ = 0;
+  obs::Histogram window_stride_ps_;
 };
 
 }  // namespace rvma::sim

@@ -48,6 +48,9 @@ ScenarioSpec full_spec() {
   spec.seed = 0xDEADBEEFULL;
   spec.sample_period = 2 * kMicrosecond;
   spec.metrics_path = "out/metrics.json";
+  spec.flight_recorder_path = "out/flight.rvfr";
+  spec.flight_recorder_capacity = 4096;
+  spec.pdes_profile_path = "out/pdes.json";
   return spec;
 }
 

@@ -19,6 +19,12 @@
 # --no-express must produce a byte-identical table and metrics document
 # (modulo the engine event counters — fewer events is the whole point).
 #
+# The flight recorder (DESIGN.md §14) gets the same treatment: arming it
+# must leave the table and metrics byte-identical (serial and at
+# --par-shards=8), the recorder-armed chain bench must stay within 5% of
+# the plain run, and BENCH_engine.json must carry the pdes_profile block
+# (per-shard utilization + barrier wait for K=1/2/4/8).
+#
 # Usage: tools/run_bench.sh [build-dir]
 set -eu
 
@@ -54,6 +60,37 @@ if [ -n "$recorded_pps" ] && [ -n "$new_pps" ]; then
   fi
   echo "express gate: $new_pps pkt/s >= 0.9 x recorded $recorded_pps"
 fi
+
+# --- Flight-recorder overhead gate --------------------------------------
+# An armed recorder must not slow the event loop: the chain bench rerun
+# with a recorder attached has to stay within 5% of the plain run
+# (negative deltas are timing noise and pass).
+rec_overhead=$(sed -n 's/.*"chain_overhead_pct": \(-\{0,1\}[0-9.]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+if [ -z "$rec_overhead" ]; then
+  echo "ERROR: recorder block missing from BENCH_engine.json" >&2
+  exit 1
+fi
+if ! awk -v o="$rec_overhead" 'BEGIN { exit !(o <= 5.0) }'; then
+  echo "ERROR: recorder-armed chain overhead ${rec_overhead}% > 5%" >&2
+  exit 1
+fi
+echo "recorder overhead gate: armed chain ${rec_overhead}% (<= 5%)"
+
+# --- PDES profile presence gate -----------------------------------------
+# BENCH_engine.json must carry the pdes_profile block: one row per K in
+# {1,2,4,8} with per-shard utilization and barrier wait, i.e. 1+2+4+8 =
+# 15 shard entries.
+if ! grep -q '"pdes_profile"' "$repo_root/BENCH_engine.json"; then
+  echo "ERROR: pdes_profile block missing from BENCH_engine.json" >&2
+  exit 1
+fi
+util_rows=$(grep -c '"utilization_pct"' "$repo_root/BENCH_engine.json")
+if [ "$util_rows" -ne 15 ]; then
+  echo "ERROR: pdes_profile has $util_rows shard rows, expected 15" >&2
+  exit 1
+fi
+echo "pdes profile gate: 15 per-shard rows across K=1/2/4/8"
 
 # --- Route-table memory gate --------------------------------------------
 # BENCH_engine.json's paper_scale_8192 block records both route-table
@@ -244,6 +281,52 @@ then
   exit 1
 fi
 echo "pdes: table and metrics byte-identical at par-shards=1 and 8"
+
+# --- Flight-recorder exactness gate -------------------------------------
+# Arming the flight recorder must change no simulation output (the spans
+# are keyed purely off simulated time the run already computes,
+# DESIGN.md §14): replaying the same grid with --flight-recorder must
+# print an identical table and produce an identical metrics document,
+# serially and at --par-shards=8.
+echo "recorder: armed replay (--flight-recorder, serial)"
+"$build_dir/tools/rvma_run" "$tmp_dir/fig8_grid.json" --jobs=1 \
+  --flight-recorder="$tmp_dir/frec.rvfr" \
+  --metrics="$tmp_dir/frec_metrics.json" > "$tmp_dir/frec.txt"
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/frec.txt" > "$tmp_dir/frec_table.txt"
+if ! diff -u "$tmp_dir/scenario_table.txt" "$tmp_dir/frec_table.txt"; then
+  echo "ERROR: --flight-recorder changed the rvma_run table" >&2
+  exit 1
+fi
+if ! cmp -s "$tmp_dir/scenario_metrics.json" "$tmp_dir/frec_metrics.json"; then
+  echo "ERROR: --flight-recorder changed the metrics document" >&2
+  exit 1
+fi
+if ! ls "$tmp_dir"/frec.rvfr.run* > /dev/null 2>&1; then
+  echo "ERROR: armed run wrote no flight-recorder dumps" >&2
+  exit 1
+fi
+echo "recorder: armed replay (--flight-recorder --par-shards=8)"
+"$build_dir/tools/rvma_run" "$tmp_dir/fig8_grid.json" --jobs=1 \
+  --par-shards=8 --flight-recorder="$tmp_dir/frec_pdes.rvfr" \
+  --metrics="$tmp_dir/frec_pdes_metrics.json" > "$tmp_dir/frec_pdes.txt"
+grep -v '^grid wall-clock\|^speedup vs serial\|^metrics written' \
+  "$tmp_dir/frec_pdes.txt" | grep -v 'engine events' \
+  > "$tmp_dir/frec_pdes_table.txt"
+if ! diff -u "$tmp_dir/pdes_pdes_table.txt" "$tmp_dir/frec_pdes_table.txt"
+then
+  echo "ERROR: --flight-recorder at --par-shards=8 changed the table" >&2
+  exit 1
+fi
+grep -v 'engine.events' "$tmp_dir/frec_pdes_metrics.json" \
+  > "$tmp_dir/frec_pdes_metrics_filtered.json"
+if ! cmp -s "$tmp_dir/sharded_pdes_metrics.json" \
+  "$tmp_dir/frec_pdes_metrics_filtered.json"
+then
+  echo "ERROR: --flight-recorder at --par-shards=8 changed the metrics" >&2
+  exit 1
+fi
+echo "recorder: table and metrics byte-identical with the recorder armed"
 
 # --- Route-table ablation gate ------------------------------------------
 # Algebraic next-hop arithmetic is the default; replaying the same grid

@@ -12,7 +12,9 @@
 # (registry materialization plus the rvma_run grid replay, which fans
 # cells out over the executor), and the PDES tests (the ShardedEngine's
 # window barriers, cross-shard SPSC channels, and the windowed-vs-serial
-# exactness runs, which exercise the full multi-threaded shard path).
+# exactness runs, which exercise the full multi-threaded shard path),
+# and the flight-recorder tests (per-shard rings attached to windowed
+# engines plus the per-shard buffered-tracer merge in ScenarioRunner).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -25,12 +27,12 @@ cmake -B "$build_dir" -S "$repo_root" \
 cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
-  test_scenario test_pdes \
+  test_scenario test_pdes test_flight_recorder \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
-  test_scenario test_pdes
+  test_scenario test_pdes test_flight_recorder
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"
