@@ -73,30 +73,38 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
       shard_of_switch[static_cast<std::size_t>(sw)] = static_cast<std::int32_t>(
           static_cast<std::int64_t>(sw) * k / num_sw);
     }
-    // Conservative lookahead = the minimum latency of any link that
-    // crosses shards: an event at time t on one shard can influence
-    // another no earlier than t + lookahead. Zero lookahead (or a
-    // topology where no link crosses) means windows cannot make progress
-    // exactly — fall back to serial.
-    Time la = kTimeInfinity;
-    for (int sw = 0; sw < num_sw; ++sw) {
-      const int ports = f0.switch_num_ports(sw);
-      for (int p = 0; p < ports; ++p) {
-        const std::int32_t peer = f0.port_peer_switch(sw, p);
-        if (peer < 0) continue;
-        if (shard_of_switch[static_cast<std::size_t>(sw)] ==
-            shard_of_switch[static_cast<std::size_t>(peer)]) {
-          continue;
-        }
-        la = std::min(la, f0.port_link(sw, p).latency);
+    // Conservative lookahead, per shard pair: the minimum latency of any
+    // link crossing shard src -> dst — an event on src can influence dst
+    // no earlier than t + la[src][dst]. A zero crossing latency anywhere
+    // (or a topology where no link crosses at all) means windows cannot
+    // make progress exactly — fall back to serial.
+    std::vector<Time> la =
+        net::cross_shard_min_latency(f0, shard_of_switch, k);
+    Time la_min = kTimeInfinity;
+    bool la_zero = false;
+    for (int src = 0; src < k; ++src) {
+      for (int dst = 0; dst < k; ++dst) {
+        if (src == dst) continue;
+        const Time d = la[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(k) +
+                          static_cast<std::size_t>(dst)];
+        if (d == 0) la_zero = true;
+        if (d != kTimeInfinity) la_min = std::min(la_min, d);
       }
     }
-    if (la == 0 || la == kTimeInfinity) {
+    if (la_zero || la_min == kTimeInfinity) {
       k = 1;
       shard_of_switch.clear();
     } else {
-      lookahead_ = la;
-      sharded_.set_lookahead(la);
+      lookahead_ = la_min;
+      // Close the direct-crossing matrix over shard paths (min-plus
+      // all-pairs shortest path): influence can chain src -> m -> dst
+      // across rounds with a smaller total latency than any direct
+      // src -> dst link, so the window bound must use path distances —
+      // DESIGN.md §12 has the two-hop counterexample. Pairs with no path
+      // stay infinite and never constrain a window.
+      net::close_min_latency_matrix(la, k);
+      lookahead_matrix_ = std::move(la);
     }
   }
 
@@ -112,6 +120,8 @@ Cluster::Cluster(const net::NetworkConfig& net_config,
   }
 
   if (k > 1) {
+    // Install after every shard is attached: the matrix is K x K.
+    sharded_.set_lookahead_matrix(lookahead_matrix_);
     for (int s = 0; s < k; ++s) {
       net::Fabric& f = shards_[static_cast<std::size_t>(s)]->network->fabric();
       // The handoff hook runs on the source shard's thread mid-event. The
@@ -280,7 +290,39 @@ obs::MetricsSnapshot Cluster::collect_pdes_profile() const {
   obs::MetricsRegistry reg;
   const int k = num_shards();
   reg.counter("pdes.shards").inc(static_cast<std::uint64_t>(k));
-  reg.counter("pdes.lookahead_ps").inc(lookahead_);
+  // Per-pair lookahead spread (min / max / mean over finite off-diagonal
+  // entries of the path-closed matrix, in picoseconds): how much wider the
+  // matrix lets windows open compared to the old single global minimum
+  // (which equals lookahead_min_ps). All zero when serial.
+  {
+    Time lmin = 0, lmax = 0;
+    std::uint64_t lsum = 0, finite = 0, unreachable = 0;
+    const std::size_t ks = static_cast<std::size_t>(k);
+    if (lookahead_matrix_.size() == ks * ks) {
+      lmin = kTimeInfinity;
+      for (std::size_t src = 0; src < ks; ++src) {
+        for (std::size_t dst = 0; dst < ks; ++dst) {
+          if (src == dst) continue;
+          const Time d = lookahead_matrix_[src * ks + dst];
+          if (d == kTimeInfinity) {
+            ++unreachable;
+            continue;
+          }
+          lmin = std::min(lmin, d);
+          lmax = std::max(lmax, d);
+          lsum += d;
+          ++finite;
+        }
+      }
+      if (finite == 0) lmin = 0;
+    }
+    reg.gauge("pdes.lookahead_min_ps").set(static_cast<std::int64_t>(lmin));
+    reg.gauge("pdes.lookahead_max_ps").set(static_cast<std::int64_t>(lmax));
+    reg.gauge("pdes.lookahead_mean_ps")
+        .set(static_cast<std::int64_t>(finite == 0 ? 0 : lsum / finite));
+    reg.gauge("pdes.lookahead_unreachable_pairs")
+        .set(static_cast<std::int64_t>(unreachable));
+  }
   reg.counter("pdes.windows").inc(sharded_.windows_executed());
   reg.histogram("pdes.window_stride_ps").merge(sharded_.window_stride_ps());
   char name[64];
@@ -292,8 +334,12 @@ obs::MetricsSnapshot Cluster::collect_pdes_profile() const {
         have ? &sharded_.profile(s) : nullptr;
     std::snprintf(name, sizeof(name), "pdes.shard%d.busy_wall_ns", s);
     reg.counter(name).inc(prof != nullptr ? prof->busy_wall_ns : 0);
-    std::snprintf(name, sizeof(name), "pdes.shard%d.barrier_wall_ns", s);
-    reg.counter(name).inc(prof != nullptr ? prof->barrier_wall_ns : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.barrier_wait_wall_ns", s);
+    reg.counter(name).inc(prof != nullptr ? prof->barrier_wait_wall_ns : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.drain_wall_ns", s);
+    reg.counter(name).inc(prof != nullptr ? prof->drain_wall_ns : 0);
+    std::snprintf(name, sizeof(name), "pdes.shard%d.completion_wall_ns", s);
+    reg.counter(name).inc(prof != nullptr ? prof->completion_wall_ns : 0);
     std::snprintf(name, sizeof(name), "pdes.shard%d.items_drained", s);
     reg.counter(name).inc(prof != nullptr ? prof->items_drained : 0);
     std::snprintf(name, sizeof(name), "pdes.shard%d.utilization_pct", s);

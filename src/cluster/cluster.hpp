@@ -67,8 +67,24 @@ class Cluster {
   net::Network& network_for(net::NodeId node) {
     return *shards_[static_cast<std::size_t>(shard_of_node(node))]->network;
   }
-  /// Minimum cross-shard link latency (0 when serial).
+  /// Minimum cross-shard link latency (0 when serial) — the scalar the
+  /// pre-matrix windowing used, kept for ablation baselines
+  /// (sharded_engine().set_lookahead(lookahead())).
   Time lookahead() const { return lookahead_; }
+
+  /// Per-shard-pair lookahead: the minimum summed link latency over any
+  /// shard path src -> dst (min-plus closure of the direct crossing-link
+  /// matrix), kTimeInfinity when src can never influence dst. This is the
+  /// matrix driving the windowed run's per-destination window edges.
+  /// Only valid when sharded().
+  Time lookahead(int src, int dst) const {
+    return lookahead_matrix_[static_cast<std::size_t>(src) *
+                                 static_cast<std::size_t>(num_shards()) +
+                             static_cast<std::size_t>(dst)];
+  }
+  const std::vector<Time>& lookahead_matrix() const {
+    return lookahead_matrix_;
+  }
 
   /// Whole-machine fabric view: counters summed across shards,
   /// max_port_backlog maxed. Equals network().fabric().stats() when serial.
@@ -119,9 +135,12 @@ class Cluster {
   void enable_pdes_profiling();
 
   /// Per-shard PDES runtime profile as rvma-metrics-v1 instruments:
-  /// pdes.windows / pdes.window_stride_ps (deterministic) plus per-shard
-  /// pdes.shard<k>.{busy_wall_ns, barrier_wall_ns, items_drained,
-  /// utilization_pct, drain_depth}. Wall-clock values differ run to run —
+  /// pdes.windows / pdes.window_stride_ps and the lookahead spread gauges
+  /// pdes.lookahead_{min,max,mean}_ps / pdes.lookahead_unreachable_pairs
+  /// (deterministic) plus per-shard pdes.shard<k>.{busy_wall_ns,
+  /// barrier_wait_wall_ns, drain_wall_ns, completion_wall_ns,
+  /// items_drained, utilization_pct, drain_depth}. Wall-clock values
+  /// differ run to run —
   /// this snapshot is intentionally separate from collect_metrics() so
   /// the run metrics stay byte-identical across jobs/shard counts. A
   /// serial cluster reports one shard at 100% utilization, zero barrier
@@ -169,7 +188,9 @@ class Cluster {
   std::unique_ptr<obs::Sampler> sampler_;  ///< serial clusters only
   /// One recorder per shard when armed (index == shard id), else empty.
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;
-  Time lookahead_ = 0;
+  Time lookahead_ = 0;  ///< min direct crossing latency (scalar baseline)
+  /// Path-closed per-pair lookahead, [src * K + dst]; empty when serial.
+  std::vector<Time> lookahead_matrix_;
 };
 
 /// Fluent front-end over (NetworkConfig, NicParams) for callers that wire
@@ -202,6 +223,12 @@ class ClusterBuilder {
   }
   ClusterBuilder& link_latency(Time t) {
     net_.link.latency = t;
+    return *this;
+  }
+  /// Latency for the topology's long link tier (0 = uniform); see
+  /// NetworkConfig::long_link_latency.
+  ClusterBuilder& long_link_latency(Time t) {
+    net_.long_link_latency = t;
     return *this;
   }
   ClusterBuilder& switch_latency(Time t) {

@@ -26,13 +26,20 @@ DragonflyTopology::DragonflyTopology(const NetworkConfig& config)
 void DragonflyTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int total_switches = groups_ * a_;
+  // Long tier: the global (inter-group) links — optical cables in a real
+  // dragonfly, an order of magnitude longer than intra-group copper.
+  LinkParams long_link = config_.link;
+  if (config_.long_link_latency != 0) {
+    long_link.latency = config_.long_link_latency;
+  }
   // Pass 1 — one switch at a time, in id order, with ALL of its ports
   // (a-1 local, then h global, then p ejection links): the fabric's SoA
   // port arrays require per-switch contiguous blocks. Local port
   // numbering is unchanged from the pre-SoA builder.
   for (int sw = 0; sw < total_switches; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
-    for (int p = 0; p < a_ - 1 + h_; ++p) fabric.add_port(sw, config_.link);
+    for (int p = 0; p < a_ - 1; ++p) fabric.add_port(sw, config_.link);
+    for (int p = 0; p < h_; ++p) fabric.add_port(sw, long_link);
     for (int n = 0; n < p_; ++n) {
       fabric.attach_node(sw, sw * p_ + n, config_.link);
     }

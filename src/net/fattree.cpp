@@ -18,6 +18,11 @@ FatTreeTopology::FatTreeTopology(const NetworkConfig& config) : config_(config) 
 void FatTreeTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int h = half();
+  // Long tier: the agg<->core links spanning the machine-room spine.
+  LinkParams long_link = config_.link;
+  if (config_.long_link_latency != 0) {
+    long_link.latency = config_.long_link_latency;
+  }
   // Pass 1 — one switch at a time, in id order (edges, aggs, cores), each
   // with ALL of its ports: the fabric's SoA port arrays require per-switch
   // contiguous blocks. Local port numbering matches the pre-SoA builder:
@@ -36,11 +41,12 @@ void FatTreeTopology::build(Fabric& fabric) {
   }
   for (int sw = num_edges_; sw < num_edges_ + num_aggs_; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
-    for (int p = 0; p < k_; ++p) fabric.add_port(sw, config_.link);
+    for (int p = 0; p < h; ++p) fabric.add_port(sw, config_.link);
+    for (int p = h; p < k_; ++p) fabric.add_port(sw, long_link);
   }
   for (int c = 0; c < num_cores_; ++c) {
     fabric.add_switch(config_.switch_latency, xbar);
-    for (int p = 0; p < k_; ++p) fabric.add_port(core_id(c), config_.link);
+    for (int p = 0; p < k_; ++p) fabric.add_port(core_id(c), long_link);
   }
 
   // Pass 2 — wiring only (no port creation).

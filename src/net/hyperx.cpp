@@ -21,6 +21,11 @@ HyperXTopology::HyperXTopology(const NetworkConfig& config)
 
 void HyperXTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
+  // Long tier: dimension-1 links (the second lattice axis spans racks).
+  LinkParams long_link = config_.link;
+  if (config_.long_link_latency != 0) {
+    long_link.latency = config_.long_link_latency;
+  }
   // Pass 1 — one switch at a time, in id order, with ALL of its ports
   // (dim-0 peers, dim-1 peers, then conc_ ejection links): the fabric's
   // SoA port arrays require per-switch contiguous blocks. Local port
@@ -28,9 +33,8 @@ void HyperXTopology::build(Fabric& fabric) {
   for (int i = 0; i < l1_; ++i) {
     for (int j = 0; j < l2_; ++j) {
       const int sw = fabric.add_switch(config_.switch_latency, xbar);
-      for (int p = 0; p < (l1_ - 1) + (l2_ - 1); ++p) {
-        fabric.add_port(sw, config_.link);
-      }
+      for (int p = 0; p < l1_ - 1; ++p) fabric.add_port(sw, config_.link);
+      for (int p = 0; p < l2_ - 1; ++p) fabric.add_port(sw, long_link);
       for (int c = 0; c < conc_; ++c) {
         fabric.attach_node(sw, sw * conc_ + c, config_.link);
       }

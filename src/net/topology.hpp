@@ -8,8 +8,10 @@
 // arrival — the network condition RVMA is designed for.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
@@ -49,6 +51,16 @@ struct NetworkConfig {
   LinkParams link;                     ///< applied to every link
   Time switch_latency = 100 * kNanosecond;
   double xbar_factor = 1.5;            ///< crossbar bw = factor * link bw
+
+  /// Latency override for the topology's "long" link tier — the links that
+  /// are physically long cables in a real machine: torus wrap-around links,
+  /// dragonfly global (inter-group) links, fat-tree agg<->core links and
+  /// HyperX dimension-1 links. 0 means uniform (every link uses
+  /// link.latency). Bandwidth is unchanged. Star has no switch-to-switch
+  /// links, so the override is a no-op there. Non-uniform latencies are
+  /// where the per-shard-pair PDES lookahead matrix diverges most from the
+  /// single global minimum (DESIGN.md §12).
+  Time long_link_latency = 0;
 
   /// Endpoints per switch (torus / hyperx concentration; dragonfly uses p).
   int concentration = 1;
@@ -144,5 +156,24 @@ class Network {
 /// Factory for the topology named in `config` (used by Network; exposed for
 /// tests that want to poke a topology directly).
 std::unique_ptr<Topology> make_topology(const NetworkConfig& config);
+
+/// Per-shard-pair minimum crossing-link latency, row-major [src * k + dst]:
+/// the minimum latency over all fabric links leaving a shard-`src` switch
+/// for a shard-`dst` switch, kTimeInfinity where no link crosses src->dst.
+/// This is the *direct* one-crossing matrix; a conservative PDES window
+/// bound must close it over paths first (close_min_latency_matrix), because
+/// influence can chain through intermediate shards with a smaller total
+/// latency than any direct link (DESIGN.md §12).
+std::vector<Time> cross_shard_min_latency(
+    const Fabric& fabric, const std::vector<std::int32_t>& shard_of_switch,
+    int num_shards);
+
+/// In-place min-plus (all-pairs shortest path) closure of a
+/// cross_shard_min_latency matrix: after the call, la[src * k + dst] is the
+/// minimum summed latency over any shard path src -> ... -> dst, still
+/// kTimeInfinity for pairs with no path. Diagonal entries are forced to 0
+/// (self-influence needs no window bound). Saturating adds keep
+/// kTimeInfinity absorbing. O(k^3); k is the shard count, single digits.
+void close_min_latency_matrix(std::vector<Time>& la, int num_shards);
 
 }  // namespace rvma::net

@@ -32,19 +32,33 @@ Torus3DTopology::Torus3DTopology(const NetworkConfig& config)
 void Torus3DTopology::build(Fabric& fabric) {
   const Bandwidth xbar = config_.link.bw.scaled(config_.xbar_factor);
   const int num_switches = dx_ * dy_ * dz_;
+  // Long tier: the wrap-around links closing each ring. Both directed
+  // ports of a wrap wire get the override, so latency stays symmetric
+  // per wire.
+  LinkParams long_link = config_.link;
+  if (config_.long_link_latency != 0) {
+    long_link.latency = config_.long_link_latency;
+  }
+  const int dims[3] = {dx_, dy_, dz_};
   // Pass 1 — one switch at a time, in id order, with ALL of its ports
   // (6 neighbor links then conc_ ejection links): the fabric's SoA port
   // arrays require each switch's block to be contiguous. Local port
-  // numbering is unchanged from the pre-SoA builder.
+  // numbering is unchanged from the pre-SoA builder: +x,-x,+y,-y,+z,-z.
   for (int sw = 0; sw < num_switches; ++sw) {
     fabric.add_switch(config_.switch_latency, xbar);
-    for (int port = 0; port < 6; ++port) fabric.add_port(sw, config_.link);
+    const int coords[3] = {sw / (dy_ * dz_), (sw / dz_) % dy_, sw % dz_};
+    for (int dim = 0; dim < 3; ++dim) {
+      // The +dim port of the last coordinate and the -dim port of the
+      // first are the two ends of the ring's wrap wire.
+      fabric.add_port(
+          sw, coords[dim] == dims[dim] - 1 ? long_link : config_.link);
+      fabric.add_port(sw, coords[dim] == 0 ? long_link : config_.link);
+    }
     for (int c = 0; c < conc_; ++c) {
       fabric.attach_node(sw, sw * conc_ + c, config_.link);
     }
   }
   // Pass 2 — wiring only (no port creation).
-  const int dims[3] = {dx_, dy_, dz_};
   for (int x = 0; x < dx_; ++x) {
     for (int y = 0; y < dy_; ++y) {
       for (int z = 0; z < dz_; ++z) {

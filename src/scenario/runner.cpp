@@ -38,6 +38,7 @@ bool resolve(const ScenarioSpec& spec, net::NetworkConfig* cfg,
   cfg->nodes_hint = spec.nodes;
   cfg->link.bw = spec.link_bandwidth;
   cfg->link.latency = spec.link_latency;
+  cfg->long_link_latency = spec.long_link_latency;
   cfg->switch_latency = spec.switch_latency;
   cfg->xbar_factor = spec.xbar_factor;
   cfg->concentration = spec.concentration;

@@ -62,8 +62,12 @@ void append_spec_object(std::string* out, const ScenarioSpec& spec,
       .append(",\n");
   out->append(in3).append("\"express\": ")
       .append(spec.express ? "true" : "false");
-  // Default-valued route_table is omitted so pre-existing specs (and
-  // their golden bytes) round-trip unchanged.
+  // Default-valued long_link_latency and route_table are omitted so
+  // pre-existing specs (and their golden bytes) round-trip unchanged.
+  if (spec.long_link_latency != 0) {
+    out->append(",\n").append(in3).append("\"long_link_latency\": ");
+    append_quoted(out, canonical_duration(spec.long_link_latency));
+  }
   if (spec.route_table != "algebraic") {
     out->append(",\n").append(in3).append("\"route_table\": ");
     append_quoted(out, spec.route_table);
@@ -154,6 +158,10 @@ bool parse_spec_object(const obs::JsonValue& root, ScenarioSpec* out,
     if (const auto* v = topo->find("link_latency")) {
       if (!parse_duration(v->string, &spec.link_latency))
         return fail("scenario: bad link_latency \"" + v->string + "\"");
+    }
+    if (const auto* v = topo->find("long_link_latency")) {
+      if (!parse_duration(v->string, &spec.long_link_latency))
+        return fail("scenario: bad long_link_latency \"" + v->string + "\"");
     }
     if (const auto* v = topo->find("switch_latency")) {
       if (!parse_duration(v->string, &spec.switch_latency))
@@ -329,6 +337,11 @@ bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,
     const std::string text = cli.get("link-latency", "");
     if (!parse_duration(text, &spec->link_latency))
       return fail("bad --link-latency \"" + text + "\"");
+  }
+  if (cli.has("long-link-latency")) {
+    const std::string text = cli.get("long-link-latency", "");
+    if (!parse_duration(text, &spec->long_link_latency))
+      return fail("bad --long-link-latency \"" + text + "\"");
   }
   if (cli.has("switch-latency")) {
     const std::string text = cli.get("switch-latency", "");

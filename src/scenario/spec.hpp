@@ -37,6 +37,10 @@ struct ScenarioSpec {
   int nodes = 2;
   Bandwidth link_bandwidth = Bandwidth::gbps(100);
   Time link_latency = 100 * kNanosecond;
+  /// Latency for the topology's long link tier (torus wrap-around,
+  /// dragonfly global, fat-tree agg<->core, HyperX dim-1); 0 keeps every
+  /// link at link_latency. See net::NetworkConfig::long_link_latency.
+  Time long_link_latency = 0;
   Time switch_latency = 100 * kNanosecond;
   double xbar_factor = 1.5;  ///< crossbar bw = factor * link bw (paper §V-B1)
   int concentration = 1;     ///< endpoints per switch where applicable
@@ -121,7 +125,8 @@ bool grid_from_json(const std::string& text, GridSpec* out,
 bool looks_like_grid(const std::string& text);
 
 /// Overlay CLI flags onto `spec`: --name, --topology, --routing, --nodes,
-/// --bandwidth, --link-latency, --switch-latency, --xbar-factor,
+/// --bandwidth, --link-latency, --long-link-latency, --switch-latency,
+/// --xbar-factor,
 /// --concentration, --no-express/--express, --route-table, --transport,
 /// --rdma-slots, --motif, --motif.<param>=<value>, --seed, --par-shards,
 /// --sample-period, --metrics, --flight-recorder,

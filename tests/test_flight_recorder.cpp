@@ -300,11 +300,23 @@ TEST(PdesProfile, ShardedRunExposesPerShardInstruments) {
   const obs::MetricsSnapshot prof = cluster.collect_pdes_profile();
   EXPECT_EQ(prof.counters.at("pdes.shards"), 2);
   EXPECT_GT(prof.counters.at("pdes.windows"), 0);
-  EXPECT_GT(prof.counters.at("pdes.lookahead_ps"), 0);
+  // Lookahead spread gauges over the path-closed matrix: a 2-shard torus
+  // slab has symmetric finite pairs, so min == max == mean > 0 and no
+  // unreachable pair.
+  EXPECT_GT(prof.gauges.at("pdes.lookahead_min_ps"), 0);
+  EXPECT_GE(prof.gauges.at("pdes.lookahead_max_ps"),
+            prof.gauges.at("pdes.lookahead_min_ps"));
+  EXPECT_GE(prof.gauges.at("pdes.lookahead_mean_ps"),
+            prof.gauges.at("pdes.lookahead_min_ps"));
+  EXPECT_EQ(prof.gauges.at("pdes.lookahead_unreachable_pairs"), 0);
   for (const char* key : {"pdes.shard0.busy_wall_ns",
-                          "pdes.shard0.barrier_wall_ns",
+                          "pdes.shard0.barrier_wait_wall_ns",
+                          "pdes.shard0.drain_wall_ns",
+                          "pdes.shard0.completion_wall_ns",
                           "pdes.shard1.busy_wall_ns",
-                          "pdes.shard1.barrier_wall_ns"}) {
+                          "pdes.shard1.barrier_wait_wall_ns",
+                          "pdes.shard1.drain_wall_ns",
+                          "pdes.shard1.completion_wall_ns"}) {
     EXPECT_TRUE(prof.counters.contains(key)) << key;
   }
   for (const char* key :

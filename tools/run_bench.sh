@@ -23,7 +23,11 @@
 # must leave the table and metrics byte-identical (serial and at
 # --par-shards=8), the recorder-armed chain bench must stay within 5% of
 # the plain run, and BENCH_engine.json must carry the pdes_profile block
-# (per-shard utilization + barrier wait for K=1/2/4/8).
+# (per-shard utilization + barrier wait/drain/completion for K=1/2/4/8).
+#
+# The pdes_windows block gates the lookahead-matrix payoff: the matrix
+# must need >= 1.5x fewer barrier rounds than the scalar ablation on the
+# 1024-rank sweep gate — a deterministic count, enforced on every host.
 #
 # Usage: tools/run_bench.sh [build-dir]
 set -eu
@@ -91,6 +95,31 @@ if [ "$util_rows" -ne 15 ]; then
   exit 1
 fi
 echo "pdes profile gate: 15 per-shard rows across K=1/2/4/8"
+
+# --- PDES windows-reduction gate ----------------------------------------
+# The per-shard-pair lookahead matrix must cut barrier rounds on the
+# 1024-rank sweep3d pipeline (8-group dragonfly mesh, K=8) by >= 1.5x
+# versus the scalar global-minimum ablation. Window counts are pure
+# functions of the event timeline and the lookahead — no wall clock
+# involved — so this gate is deterministic and never skipped, even on
+# single-core hosts.
+win_matrix=$(sed -n 's/.*"windows_matrix": \([0-9]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+win_scalar=$(sed -n 's/.*"windows_scalar": \([0-9]*\).*/\1/p' \
+  "$repo_root/BENCH_engine.json")
+if [ -z "$win_matrix" ] || [ -z "$win_scalar" ]; then
+  echo "ERROR: pdes_windows block missing from BENCH_engine.json" >&2
+  exit 1
+fi
+if ! awk -v m="$win_matrix" -v s="$win_scalar" \
+  'BEGIN { exit !(m > 0 && s >= 1.5 * m) }'
+then
+  echo "ERROR: lookahead matrix saved too few windows: $win_matrix" \
+    "matrix vs $win_scalar scalar (< 1.5x reduction)" >&2
+  exit 1
+fi
+echo "pdes windows gate: $win_matrix matrix vs $win_scalar scalar" \
+  "rounds (>= 1.5x reduction)"
 
 # --- Route-table memory gate --------------------------------------------
 # BENCH_engine.json's paper_scale_8192 block records both route-table

@@ -13,6 +13,8 @@
 # cells out over the executor), and the PDES tests (the ShardedEngine's
 # window barriers, cross-shard SPSC channels, and the windowed-vs-serial
 # exactness runs, which exercise the full multi-threaded shard path),
+# the lookahead-matrix tests (per-destination windows, unreachable-pair
+# handling, and windowed-vs-serial identity at K in {2,3,5}),
 # and the flight-recorder tests (per-shard rings attached to windowed
 # engines plus the per-shard buffered-tracer merge in ScenarioRunner).
 #
@@ -27,12 +29,12 @@ cmake -B "$build_dir" -S "$repo_root" \
 cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
-  test_scenario test_pdes test_flight_recorder \
+  test_scenario test_pdes test_pdes_matrix test_flight_recorder \
   -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
-  test_scenario test_pdes test_flight_recorder
+  test_scenario test_pdes test_pdes_matrix test_flight_recorder
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"
