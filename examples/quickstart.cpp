@@ -1,68 +1,81 @@
-// Quickstart: the smallest complete RVMA program.
+// Quickstart: the smallest complete RVMA program, on the public rvma.h
+// library surface.
 //
-// Simulates two nodes on one switch. The target creates a mailbox window,
-// posts a receive buffer with a completion pointer; the initiator fires an
-// RVMA_Put at the mailbox's virtual address — no handshake, no remote
-// buffer bookkeeping — and the NIC completes the buffer when the byte
-// threshold is reached, writing (buffer head, length) to the notification
-// cache line.
+// Simulates two nodes on one switch. The target opens a context, creates
+// a mailbox window, posts a receive buffer with a completion cache line;
+// the initiator fires an rvma_put at the mailbox's virtual address — no
+// handshake, no remote buffer bookkeeping — and the NIC completes the
+// buffer when the byte threshold is reached, writing (buffer head,
+// length) to the notification line.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
+#include "api/rvma.h"
 #include "cluster/cluster.hpp"
-#include "core/endpoint.hpp"
-
-using namespace rvma;
 
 int main() {
-  // 1. A simulated 2-node cluster (one switch, 100 Gbps links).
-  cluster::Cluster cluster(cluster::ClusterBuilder()
-                               .topology(net::TopologyKind::kStar)
-                               .nodes(2)
-                               .link_bandwidth(Bandwidth::gbps(100)));
+  // 1. A simulated 2-node cluster (one switch, 100 Gbps links). The
+  //    cluster is the only C++ object here; everything RVMA stays on the
+  //    C header.
+  rvma::cluster::Cluster cluster(
+      rvma::cluster::ClusterBuilder()
+          .topology(rvma::net::TopologyKind::kStar)
+          .nodes(2)
+          .link_bandwidth(rvma::Bandwidth::gbps(100)));
 
-  core::RvmaEndpoint initiator(cluster.nic(0), core::RvmaParams{});
-  core::RvmaEndpoint target(cluster.nic(1), core::RvmaParams{});
+  rvma_ctx initiator = rvma_initialize(&cluster, 0);
+  rvma_ctx target = rvma_initialize(&cluster, 1);
 
   // 2. Target: a window at mailbox vaddr 0x11FF0011, completing after 64
   //    bytes, plus one posted buffer and its notification cache line.
-  constexpr std::uint64_t kMailbox = 0x11FF0011;
-  constexpr std::int64_t kThreshold = 64;
-  core::Window window =
-      target.init_window(kMailbox, kThreshold, core::EpochType::kBytes);
+  constexpr uint64_t kMailbox = 0x11FF0011;
+  uint64_t key = 0;
+  rvma_win window = rvma_init_window(target, kMailbox, &key,
+                                     /*epoch_threshold=*/64,
+                                     RVMA_EPOCH_BYTES);
+  if (window == nullptr) {
+    std::fprintf(stderr, "init_window failed\n");
+    return 1;
+  }
 
-  std::vector<std::byte> buffer(64, std::byte{0});
-  void* notification = nullptr;   // completion pointer target
-  std::int64_t length = -1;       // completed-length target
-  if (!ok(window.post(buffer, &notification, &length))) {
+  std::vector<unsigned char> buffer(64, 0);
+  alignas(64) void* notification[8] = {};  // word 0: buf head, word 1: len
+  if (rvma_post_buffer(window, buffer.data(), 64, &notification[0]) !=
+      RVMA_SUCCESS) {
     std::fprintf(stderr, "post_buffer failed\n");
     return 1;
   }
 
   // 3. Wake-on-completion (Monitor/MWait style).
-  window.notify_wait([&](void* buf, std::int64_t len) {
-    std::printf("[%s] completion: buffer=%p length=%lld payload=\"%s\"\n",
-                format_time(cluster.engine().now()).c_str(), buf,
-                static_cast<long long>(len),
-                reinterpret_cast<const char*>(buf));
-  });
+  rvma_win_wait(
+      window,
+      [](void*, void* buf, int64_t len) {
+        std::printf("completion: buffer=%p length=%lld payload=\"%s\"\n",
+                    buf, static_cast<long long>(len),
+                    reinterpret_cast<const char*>(buf));
+      },
+      nullptr);
 
   // 4. Initiator: put 64 bytes at the virtual address. Note what is NOT
   //    here: no address exchange, no registration, no completion message.
   char message[64] = "hello from node 0 via Remote Virtual Memory Access";
-  initiator.put(/*dst=*/1, kMailbox, /*offset=*/0,
-                reinterpret_cast<const std::byte*>(message), sizeof message);
+  rvma_put(initiator, message, /*proc=*/1, kMailbox, sizeof message);
 
-  cluster.engine().run();
+  rvma_sim_run(&cluster);
 
   std::printf("epoch advanced to %lld; completions on mailbox: %llu\n",
-              static_cast<long long>(window.epoch()),
-              static_cast<unsigned long long>(window.completions()));
+              static_cast<long long>(rvma_win_get_epoch(window)),
+              static_cast<unsigned long long>(rvma_win_completions(window)));
   const bool data_ok =
-      std::memcmp(buffer.data(), message, sizeof message) == 0;
+      std::memcmp(buffer.data(), message, sizeof message) == 0 &&
+      rvma_flush(initiator, RVMA_ALL_PROCS) == RVMA_SUCCESS;
   std::printf("data integrity: %s\n", data_ok ? "OK" : "CORRUPT");
-  return data_ok && notification == buffer.data() ? 0 : 1;
+  const bool notified = notification[0] == buffer.data() &&
+                        reinterpret_cast<int64_t*>(notification)[1] == 64;
+  rvma_finalize(initiator);
+  rvma_finalize(target);
+  return data_ok && notified ? 0 : 1;
 }

@@ -1,64 +1,124 @@
-// sockets_kv: a tiny key-value store served over the Receiver-Managed
-// RVMA sockets layer (paper §IV-B) — the "public internet client-server"
-// usage the paper's abstract says RDMA handles badly.
+// sockets_kv: a tiny key-value store in the paper's "public internet
+// client-server" shape (§IV-B) — now expressed entirely over the public
+// rvma.h library surface.
 //
-// Clients connect, stream SET/GET requests as length-prefixed records, and
-// read replies from their own stream. The server never negotiates buffers
-// with clients and holds no per-client registered regions: each connection
-// is a mailbox with a receiver-managed segment ring.
+// The server never negotiates buffers with clients and holds no
+// per-client registered regions: every request lands in its catch-all
+// mailbox (one receiver-managed buffer ring for all clients), and each
+// reply is a single rvma_put into the requesting client's reply window.
+// Clients stream SET/GET requests closed-loop from their own contexts.
+//
+// Wire format: fixed 64-byte records — [u32 client][u32 op] then the
+// request ("SET k v" / "GET k") or reply ("OK" / value / "NIL") text.
 //
 // Usage: sockets_kv [--clients=4] [--ops=6]
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
+#include "api/rvma.h"
 #include "cluster/cluster.hpp"
 #include "common/cli.hpp"
-#include "sockets/socket_stack.hpp"
-
-using namespace rvma;
-using sockets::ConnId;
-using sockets::SocketParams;
-using sockets::SocketStack;
 
 namespace {
 
-// Wire format: [u32 length][text payload]; requests "SET k v" / "GET k",
-// replies "OK" / value / "NIL".
-void send_record(SocketStack& stack, ConnId conn, const std::string& text) {
-  std::vector<std::byte> frame(4 + text.size());
-  const std::uint32_t len = static_cast<std::uint32_t>(text.size());
-  std::memcpy(frame.data(), &len, 4);
-  std::memcpy(frame.data() + 4, text.data(), text.size());
-  stack.send(conn, frame.data(), frame.size());
+constexpr int64_t kRecord = 64;           // one fixed-size record per epoch
+constexpr uint64_t kReplyBase = 0x5EED0000;  // + client node id
+
+struct Record {
+  uint32_t client = 0;
+  uint32_t op = 0;
+  char text[kRecord - 8] = {};
+};
+static_assert(sizeof(Record) == kRecord);
+
+std::string text_of(const Record& r) {
+  return std::string(r.text, strnlen(r.text, sizeof r.text));
 }
 
-/// Drain complete records out of a connection's stream.
-std::vector<std::string> drain_records(SocketStack& stack, ConnId conn,
-                                       std::string& carry) {
-  std::byte buf[4096];
-  for (std::uint64_t got = stack.recv(conn, buf, sizeof buf); got > 0;
-       got = stack.recv(conn, buf, sizeof buf)) {
-    carry.append(reinterpret_cast<const char*>(buf), got);
+struct Server {
+  rvma_ctx ctx = nullptr;
+  rvma_win mailbox = nullptr;
+  std::vector<Record> pool;        // posted request buffers, reposted on use
+  std::vector<Record> reply_slot;  // one in-flight reply per client
+  std::map<std::string, std::string> store;
+  int served = 0;
+};
+
+struct Client {
+  rvma_ctx ctx = nullptr;
+  rvma_win reply_win = nullptr;
+  Record req;    // request slot, reused only after the reply (closed loop)
+  Record reply;  // reply landing buffer
+  int node = 0;
+  int next_op = 0;
+  int ops = 0;
+  int verified = 0;
+};
+
+void issue(Client* c);
+
+void on_request(void* arg, void* buf, int64_t) {
+  auto* s = static_cast<Server*>(arg);
+  auto* req = static_cast<Record*>(buf);
+  const std::string text = text_of(*req);
+  Record& out = s->reply_slot[req->client];
+  out.client = req->client;
+  out.op = req->op;
+  std::string reply;
+  if (text.rfind("SET ", 0) == 0) {
+    const auto space = text.find(' ', 4);
+    s->store[text.substr(4, space - 4)] = text.substr(space + 1);
+    reply = "OK";
+  } else {
+    const auto it = s->store.find(text.substr(4));
+    reply = it == s->store.end() ? "NIL" : it->second;
   }
-  std::vector<std::string> records;
-  while (carry.size() >= 4) {
-    std::uint32_t len = 0;
-    std::memcpy(&len, carry.data(), 4);
-    if (carry.size() < 4 + len) break;
-    records.push_back(carry.substr(4, len));
-    carry.erase(0, 4 + len);
-  }
-  return records;
+  std::memset(out.text, 0, sizeof out.text);
+  std::memcpy(out.text, reply.data(), reply.size());
+  ++s->served;
+  // Recycle the consumed request buffer, then answer straight into the
+  // client's reply window — no connection, no per-client server state
+  // beyond the one reply slot.
+  rvma_post_buffer(s->mailbox, req, kRecord, nullptr);
+  rvma_put(s->ctx, &out, /*proc=*/static_cast<int32_t>(req->client),
+           kReplyBase + req->client, kRecord);
+}
+
+void on_reply(void* arg, void* buf, int64_t) {
+  auto* c = static_cast<Client*>(arg);
+  const auto* r = static_cast<const Record*>(buf);
+  const std::string want =
+      r->op % 2 == 0 ? "OK" : "v" + std::to_string(c->node);
+  if (text_of(*r) == want) ++c->verified;
+  rvma_post_buffer(c->reply_win, &c->reply, kRecord, nullptr);
+  issue(c);
+}
+
+void issue(Client* c) {
+  if (c->next_op >= c->ops) return;
+  const int op = c->next_op++;
+  const std::string key =
+      "k" + std::to_string(c->node) + "_" + std::to_string(op / 2);
+  const std::string text =
+      op % 2 == 0 ? "SET " + key + " v" + std::to_string(c->node)
+                  : "GET " + key;
+  c->req.client = static_cast<uint32_t>(c->node);
+  c->req.op = static_cast<uint32_t>(op);
+  std::memset(c->req.text, 0, sizeof c->req.text);
+  std::memcpy(c->req.text, text.data(), text.size());
+  // Any unknown vaddr routes to the server's catch-all mailbox.
+  rvma_put(c->ctx, &c->req, /*proc=*/0, /*virtual_addr=*/0x44D0DEAD,
+           kRecord);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Cli cli(argc, argv);
+  rvma::Cli cli(argc, argv);
   const int clients = static_cast<int>(cli.get_int("clients", 4));
   const int ops = static_cast<int>(cli.get_int("ops", 6));
   for (const auto& key : cli.unconsumed()) {
@@ -66,80 +126,51 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  net::NetworkConfig net_cfg;
-  net_cfg.topology = net::TopologyKind::kFatTree;
+  rvma::net::NetworkConfig net_cfg;
+  net_cfg.topology = rvma::net::TopologyKind::kFatTree;
   net_cfg.nodes_hint = clients + 1;
-  cluster::Cluster cluster(net_cfg, nic::NicParams{});
+  rvma::cluster::Cluster cluster(net_cfg, rvma::nic::NicParams{});
 
-  std::vector<std::unique_ptr<core::RvmaEndpoint>> eps;
-  std::vector<std::unique_ptr<SocketStack>> stacks;
-  for (int n = 0; n <= clients; ++n) {
-    eps.push_back(std::make_unique<core::RvmaEndpoint>(cluster.nic(n),
-                                                       core::RvmaParams{}));
-    stacks.push_back(std::make_unique<SocketStack>(*eps.back(), SocketParams{}));
-  }
-  SocketStack& server = *stacks[0];
+  // ---- server (node 0): catch-all mailbox + the store.
+  Server server;
+  server.ctx = rvma_initialize(&cluster, 0);
+  server.mailbox = rvma_init_catch_all(server.ctx, kRecord,
+                                       RVMA_EPOCH_BYTES);
+  server.pool.resize(static_cast<std::size_t>(clients) + 4);
+  server.reply_slot.resize(static_cast<std::size_t>(clients) + 1);
+  for (Record& r : server.pool)
+    rvma_post_buffer(server.mailbox, &r, kRecord, nullptr);
+  rvma_win_observe(server.mailbox, on_request, &server);
 
-  // ---- server: a map + a per-connection record loop.
-  std::map<std::string, std::string> store;
-  std::map<ConnId, std::string> carries;
-  std::function<void(ConnId)> serve = [&](ConnId conn) {
-    server.recv_wait(conn, [&, conn] {
-      server.claim_partial(conn);  // pull in whatever has arrived
-      for (const std::string& req : drain_records(server, conn, carries[conn])) {
-        if (req.rfind("SET ", 0) == 0) {
-          const auto space = req.find(' ', 4);
-          store[req.substr(4, space - 4)] = req.substr(space + 1);
-          send_record(server, conn, "OK");
-        } else if (req.rfind("GET ", 0) == 0) {
-          const auto it = store.find(req.substr(4));
-          send_record(server, conn, it == store.end() ? "NIL" : it->second);
-        }
-      }
-      serve(conn);  // keep serving this connection
-    });
-  };
-  server.listen(6379, [&](ConnId conn) { serve(conn); });
-
-  // ---- clients: SETs then GETs, verifying replies.
-  int replies_ok = 0, replies_total = 0;
-  std::map<int, std::string> client_carry;
-  std::function<void(int, ConnId, int)> next_op = [&](int c, ConnId conn,
-                                                      int op) {
-    if (op >= ops) return;
-    const std::string key = "k" + std::to_string(c) + "_" + std::to_string(op / 2);
-    if (op % 2 == 0) {
-      send_record(*stacks[c], conn, "SET " + key + " v" + std::to_string(c));
-    } else {
-      send_record(*stacks[c], conn, "GET " + key);
-    }
-    stacks[c]->recv_wait(conn, [&, c, conn, op] {
-      stacks[c]->claim_partial(conn);
-      const auto replies = drain_records(*stacks[c], conn, client_carry[c]);
-      for (const std::string& reply : replies) {
-        ++replies_total;
-        const std::string want =
-            op % 2 == 0 ? "OK" : "v" + std::to_string(c);
-        if (reply == want) ++replies_ok;
-      }
-      next_op(c, conn, op + 1);
-    });
-  };
+  // ---- clients (nodes 1..clients): reply window + closed-loop ops.
+  std::vector<Client> cs(static_cast<std::size_t>(clients));
   for (int c = 1; c <= clients; ++c) {
-    stacks[c]->connect(0, 6379, [&, c](ConnId conn) { next_op(c, conn, 0); });
+    Client& cl = cs[static_cast<std::size_t>(c - 1)];
+    cl.node = c;
+    cl.ops = ops;
+    cl.ctx = rvma_initialize(&cluster, c);
+    cl.reply_win = rvma_init_window(cl.ctx, kReplyBase + c, nullptr, kRecord,
+                                    RVMA_EPOCH_BYTES);
+    rvma_post_buffer(cl.reply_win, &cl.reply, kRecord, nullptr);
+    rvma_win_observe(cl.reply_win, on_reply, &cl);
+    issue(&cl);
   }
 
-  cluster.engine().run();
+  rvma_sim_run(&cluster);
 
-  std::printf("sockets_kv: %d clients x %d ops over receiver-managed RVMA "
-              "streams\n",
+  int verified = 0;
+  for (const Client& cl : cs) verified += cl.verified;
+  std::printf("sockets_kv: %d clients x %d ops over the rvma.h catch-all "
+              "mailbox\n",
               clients, ops);
   std::printf("store size: %zu keys; replies verified: %d/%d; simulated "
               "time %s\n",
-              store.size(), replies_ok, replies_total,
-              format_time(cluster.engine().now()).c_str());
+              server.store.size(), verified, server.served,
+              rvma::format_time(cluster.engine().now()).c_str());
   const bool success =
-      replies_ok == replies_total && replies_total == clients * ops;
+      verified == server.served && server.served == clients * ops;
   std::printf("result: %s\n", success ? "OK" : "MISMATCH");
+  for (Client& cl : cs) rvma_finalize(cl.ctx);
+  rvma_finalize(server.ctx);
   return success ? 0 : 1;
 }

@@ -1,0 +1,121 @@
+// Deprecated core/rvma_c_api.h shim, now a delegation layer over the
+// handle-based api/rvma.h surface.
+//
+// The thread-local here is the documented compatibility wart: each
+// endpoint seen by RVMA_Set_endpoint gets one borrowing rvma_ctx, cached
+// for the thread's lifetime and intentionally never freed (the original
+// shim leaked its window handles the same way). It lives in this file
+// only — nothing under src/api routes through it.
+#include "core/rvma_c_api.h"
+
+#include <map>
+
+#include "api/rvma.h"
+
+struct RVMA_Win_s {
+  rvma_win win;
+};
+
+namespace {
+
+thread_local rvma_ctx g_ctx = nullptr;
+thread_local std::map<void*, rvma_ctx>* g_wrapped = nullptr;
+
+RVMA_Win wrap(rvma_win win) {
+  return win == nullptr ? nullptr : new RVMA_Win_s{win};
+}
+
+uint64_t vaddr_of(void* virtual_addr) {
+  return reinterpret_cast<uint64_t>(virtual_addr);
+}
+
+}  // namespace
+
+extern "C" {
+
+void RVMA_Set_endpoint(void* endpoint) {
+  if (endpoint == nullptr) {
+    g_ctx = nullptr;
+    return;
+  }
+  if (g_wrapped == nullptr) g_wrapped = new std::map<void*, rvma_ctx>();
+  auto [it, inserted] = g_wrapped->try_emplace(endpoint, nullptr);
+  if (inserted) it->second = rvma_wrap_endpoint(endpoint);
+  g_ctx = it->second;
+}
+
+RVMA_Win RVMA_Init_window(void* virtual_addr, rvma_key_t* key,
+                          int64_t epoch_threshold, epoch_type type) {
+  if (g_ctx == nullptr) return nullptr;
+  return wrap(rvma_init_window(
+      g_ctx, vaddr_of(virtual_addr), key, epoch_threshold,
+      type == EPOCH_OPS ? RVMA_EPOCH_OPS : RVMA_EPOCH_BYTES));
+}
+
+RVMA_Status RVMA_Post_buffer(void* buffer, int64_t size,
+                             void** notification_ptr, RVMA_Win win) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return rvma_post_buffer(win->win, buffer, size, notification_ptr);
+}
+
+RVMA_Status RVMA_Close_Win(RVMA_Win win) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return rvma_win_close(win->win);
+}
+
+RVMA_Status RVMA_Win_inc_epoch(RVMA_Win win) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return rvma_win_inc_epoch(win->win);
+}
+
+int64_t RVMA_Win_get_epoch(RVMA_Win win) {
+  if (win == nullptr) return -1;
+  return rvma_win_get_epoch(win->win);
+}
+
+int RVMA_Win_get_buf_ptrs(RVMA_Win win, void* notification_ptrs[],
+                          int count) {
+  if (win == nullptr || notification_ptrs == nullptr || count <= 0) return 0;
+  return rvma_win_get_buf_ptrs(win->win, notification_ptrs, count);
+}
+
+RVMA_Status RVMA_Put(void* send_buffer, int64_t size, rvma_addr_in* dest_addr,
+                     void* virtual_addr) {
+  return RVMA_Put_offset(send_buffer, size, 0, dest_addr, virtual_addr);
+}
+
+RVMA_Status RVMA_Put_offset(void* send_buffer, int64_t size, int64_t offset,
+                            rvma_addr_in* dest_addr, void* virtual_addr) {
+  if (g_ctx == nullptr || dest_addr == nullptr) return RVMA_ERR_INVALID;
+  return rvma_put_offset(g_ctx, send_buffer, dest_addr->node,
+                         vaddr_of(virtual_addr), offset, size);
+}
+
+RVMA_Status RVMA_Get(int64_t size, int64_t offset, rvma_addr_in* src_addr,
+                     void* virtual_addr, void* reply_virtual_addr) {
+  if (g_ctx == nullptr || src_addr == nullptr) return RVMA_ERR_INVALID;
+  return rvma_get_ex(g_ctx, src_addr->node, vaddr_of(virtual_addr), offset,
+                     size, nullptr, vaddr_of(reply_virtual_addr), nullptr,
+                     nullptr);
+}
+
+RVMA_Win RVMA_Init_catch_all(int64_t epoch_threshold, epoch_type type) {
+  if (g_ctx == nullptr) return nullptr;
+  return wrap(rvma_init_catch_all(
+      g_ctx, epoch_threshold,
+      type == EPOCH_OPS ? RVMA_EPOCH_OPS : RVMA_EPOCH_BYTES));
+}
+
+RVMA_Status RVMA_Win_rewind(RVMA_Win win, int epochs_back, void** buffer,
+                            int64_t* length) {
+  if (win == nullptr) return RVMA_ERR_INVALID;
+  return rvma_win_rewind(win->win, epochs_back, buffer, length);
+}
+
+void RVMA_Win_free(RVMA_Win win) {
+  if (win == nullptr) return;
+  rvma_win_free(win->win);
+  delete win;
+}
+
+}  // extern "C"

@@ -1,17 +1,31 @@
 /*
- * rvma_c_api.h — the paper's RVMA API (§III-C), C spelling.
+ * rvma_c_api.h — the paper's RVMA API (§III-C), C spelling. DEPRECATED.
  *
- * The paper presents the interface as C prototypes; this header reproduces
- * them over the simulated RVMA endpoint. Because the paper's calls carry no
- * endpoint/context argument, a current endpoint is selected per thread with
- * RVMA_Set_endpoint() (analogous to how a real implementation would bind a
- * process to its NIC).
+ * This header is now a thin compatibility wrapper over the public
+ * handle-based surface in api/rvma.h; every call below delegates to the
+ * rvma_* equivalent. New code should include api/rvma.h directly.
+ *
+ * Why deprecated: the paper's calls carry no endpoint/context argument,
+ * so this shim selects a "current endpoint" per OS thread with
+ * RVMA_Set_endpoint(). That thread-local breaks under the sharded engine
+ * (--par-shards), where one worker thread drives the endpoints of many
+ * nodes inside a single event window — "current endpoint" is a property
+ * of the call, not the thread. api/rvma.h fixes this by making every
+ * call take an explicit rvma_ctx (or a window handle bound to one).
+ *
+ * Compatibility notes:
+ *  - RVMA_Set_endpoint(ep) wraps `ep` in a borrowing rvma_ctx the first
+ *    time it is seen on the calling thread and caches it for the thread's
+ *    lifetime (the contexts are intentionally never freed — same handle
+ *    lifetime the original shim had).
+ *  - RVMA_Get now fails loudly with RVMA_ERR_NO_MAILBOX when
+ *    `reply_virtual_addr` does not name an already-posted local mailbox
+ *    (it used to issue the get and let the reply be dropped silently).
  *
  * Notification convention (paper §III-B): `notification_ptr` names the
  * first word of a cache-line-aligned, two-word region. On completion the
- * NIC writes the completed buffer's head address to word 0 and the received
- * length (int64_t) to word 1 — "typically these two completion addresses
- * will be consecutive and be aligned to a single cache line".
+ * NIC writes the completed buffer's head address to word 0 and the
+ * received length (int64_t) to word 1.
  */
 #pragma once
 
@@ -22,6 +36,8 @@ extern "C" {
 #endif
 
 typedef int RVMA_Status;
+/* Shared with api/rvma.h; identical values, guarded for coexistence. */
+#ifndef RVMA_SUCCESS
 #define RVMA_SUCCESS 0
 #define RVMA_ERROR 1
 #define RVMA_ERR_INVALID 2
@@ -29,10 +45,11 @@ typedef int RVMA_Status;
 #define RVMA_ERR_NO_BUFFER 4
 #define RVMA_ERR_NO_MAILBOX 5
 #define RVMA_ERR_OVERFLOW 7
+#endif
 
 typedef enum { EPOCH_BYTES = 0, EPOCH_OPS = 1 } epoch_type;
 
-/* Opaque window handle (mailbox vaddr bound to the owning endpoint). */
+/* Opaque window handle (wraps an api/rvma.h rvma_win). */
 typedef struct RVMA_Win_s* RVMA_Win;
 
 /* Destination: physical/logical network address for a node. The paper
@@ -43,8 +60,9 @@ typedef struct rvma_addr_in {
 
 typedef uint64_t rvma_key_t;
 
-/* Bind the calling thread to an endpoint created by the C++ API
- * (rvma::core::RvmaEndpoint). Pass NULL to unbind. */
+/* DEPRECATED: bind the calling thread to an endpoint created by the C++
+ * API (rvma::core::RvmaEndpoint). Pass NULL to unbind. Prefer
+ * rvma_initialize()/rvma_wrap_endpoint() from api/rvma.h. */
 void RVMA_Set_endpoint(void* endpoint);
 
 /* Paper API ---------------------------------------------------------- */
@@ -80,8 +98,8 @@ RVMA_Status RVMA_Put_offset(void* send_buffer, int64_t size, int64_t offset,
 
 /* Get: fetch `size` bytes at `offset` from the remote mailbox's active
  * buffer; the response arrives as an ordinary put into the local
- * `reply_virtual_addr` mailbox (which the caller must have initialized
- * and posted). The paper names the call as part of a full specification. */
+ * `reply_virtual_addr` mailbox, which must already be initialized and
+ * posted — RVMA_ERR_NO_MAILBOX otherwise. */
 RVMA_Status RVMA_Get(int64_t size, int64_t offset, rvma_addr_in* src_addr,
                      void* virtual_addr, void* reply_virtual_addr);
 

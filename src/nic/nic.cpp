@@ -21,6 +21,8 @@ Nic::Nic(sim::Engine& engine, net::Network& network, NodeId node,
   c_packets_received_ = &metrics->counter("nic.packets_received");
   c_tx_queue_stalls_ = &metrics->counter("nic.tx_queue_stalls");
   c_drops_no_handler_ = &metrics->counter("nic.drops_no_handler");
+  c_doorbells_ = &metrics->counter("nic.doorbells");
+  c_doorbells_merged_ = &metrics->counter("nic.doorbells_merged");
   network_.set_delivery(node_, [this](Packet&& pkt) {
     handle_delivery(std::move(pkt));
   });
@@ -48,9 +50,27 @@ void Nic::send(Message msg, SendDone on_sent) {
   net::MsgRef mref = net::MsgRef::make(std::move(msg));
 
   // Host posts the descriptor, rings the doorbell; the NIC fetches it one
-  // PCIe crossing later and runs transmit-queue admission.
-  const Time start = params_.host_overhead + params_.pcie_latency;
-  engine_.schedule(start, [this, mref = std::move(mref),
+  // PCIe crossing later and runs transmit-queue admission. With doorbell
+  // batching (RDMAbox), a descriptor whose post lands while the previous
+  // doorbell's crossing is still in flight rides that crossing: its
+  // admission fires at the same arrival instant, in post order, and the
+  // PCIe latency is paid once per batch. At doorbell_batch == 1 the ride
+  // condition is never taken and the schedule is exactly the old one.
+  const Time posted = engine_.now() + params_.host_overhead;
+  Time arrival;
+  if (params_.doorbell_batch > 1 && doorbell_count_ > 0 &&
+      doorbell_count_ < params_.doorbell_batch &&
+      posted <= doorbell_arrival_) {
+    arrival = doorbell_arrival_;
+    ++doorbell_count_;
+    c_doorbells_merged_->inc();
+  } else {
+    arrival = posted + params_.pcie_latency;
+    doorbell_arrival_ = arrival;
+    doorbell_count_ = 1;
+    c_doorbells_->inc();
+  }
+  engine_.schedule(arrival - engine_.now(), [this, mref = std::move(mref),
                            on_sent = std::move(on_sent)]() mutable {
     // Admission: if the injection link already runs further ahead of the
     // wire than the queue depth allows, the descriptor waits its turn.

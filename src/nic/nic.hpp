@@ -36,6 +36,12 @@ struct NicParams {
   /// that would exceed it wait in the host. The default models the paper's
   /// "ample queue depths on the simulated NIC" (never a constraint).
   Time tx_queue_limit = kTimeInfinity;
+  /// RDMAbox-style doorbell batching: a descriptor posted while an
+  /// earlier doorbell's PCIe crossing is still in flight rides that
+  /// crossing instead of ringing again, up to this many descriptors per
+  /// doorbell. 1 rings per message — the paper's baseline, and byte-
+  /// identical to the model before this knob existed.
+  std::uint32_t doorbell_batch = 1;
 };
 
 /// Protocol class identifiers used in WireHeader::kind (proto << 8 | op).
@@ -114,6 +120,10 @@ class Nic {
   std::uint64_t packets_dropped_no_handler_ = 0;
   std::deque<std::pair<net::MsgRef, SendDone>> tx_queue_;
   bool drain_scheduled_ = false;
+  /// Doorbell batching state: when the last rung doorbell's descriptor
+  /// fetch completes, and how many descriptors ride it so far.
+  Time doorbell_arrival_ = 0;
+  std::uint32_t doorbell_count_ = 0;
   /// Segmentation buffer reused across sends; Fabric::inject_burst
   /// consumes the contents but preserves the capacity, so steady-state
   /// multi-packet sends allocate nothing.
@@ -128,6 +138,8 @@ class Nic {
   obs::Counter* c_packets_received_;
   obs::Counter* c_tx_queue_stalls_;
   obs::Counter* c_drops_no_handler_;
+  obs::Counter* c_doorbells_;
+  obs::Counter* c_doorbells_merged_;
 };
 
 }  // namespace rvma::nic

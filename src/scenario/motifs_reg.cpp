@@ -6,7 +6,9 @@
 // same way the figure benches always have (near-cubic for halo3d,
 // near-square for sweep3d), so `--nodes` alone scales a scenario.
 #include <cmath>
+#include <memory>
 
+#include "motifs/api_motifs.hpp"
 #include "motifs/collectives.hpp"
 #include "motifs/halo3d.hpp"
 #include "motifs/incast.hpp"
@@ -127,9 +129,95 @@ std::vector<motifs::RankProgram> build_broadcast_spec(
   return motifs::build_broadcast(cfg);
 }
 
+// API-layer motif builders: validate params, return a motifs::ApiMotif.
+// The paper MTU (4096B NIC default) bounds single-packet records.
+
+std::unique_ptr<motifs::ApiMotif> build_remote_paging_spec(
+    const ScenarioSpec& spec, std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::RemotePagingConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.page_bytes = reader.get_size("page_bytes", cfg.page_bytes);
+  cfg.pages_per_rank = reader.get_int("pages_per_rank", cfg.pages_per_rank);
+  cfg.faults = reader.get_int("faults", cfg.faults);
+  cfg.think = reader.get_duration("think", cfg.think);
+  if (!finish_params(reader, "remote_paging", error)) return nullptr;
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = std::string("remote_paging: ") + msg;
+    return nullptr;
+  };
+  if (spec.nodes < 2) return fail("needs >= 2 nodes");
+  if (cfg.page_bytes == 0) return fail("page_bytes must be > 0");
+  if (cfg.pages_per_rank < 1) return fail("pages_per_rank must be >= 1");
+  if (cfg.faults < 0) return fail("faults must be >= 0");
+  return std::make_unique<motifs::RemotePagingMotif>(cfg);
+}
+
+std::unique_ptr<motifs::ApiMotif> build_kv_store_spec(
+    const ScenarioSpec& spec, std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::KvStoreConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.servers = reader.get_int("servers", std::max(1, spec.nodes / 4));
+  cfg.requests = reader.get_int("requests", cfg.requests);
+  cfg.value_bytes = reader.get_size("value_bytes", cfg.value_bytes);
+  cfg.outstanding = reader.get_int("outstanding", cfg.outstanding);
+  cfg.server_compute =
+      reader.get_duration("server_compute", cfg.server_compute);
+  if (!finish_params(reader, "kv_store", error)) return nullptr;
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = std::string("kv_store: ") + msg;
+    return nullptr;
+  };
+  if (cfg.servers < 1) return fail("servers must be >= 1");
+  if (spec.nodes <= cfg.servers) return fail("needs at least one client");
+  if (cfg.requests < 0) return fail("requests must be >= 0");
+  if (cfg.outstanding < 1) return fail("outstanding must be >= 1");
+  // One record per request/reply buffer; keep it a single MTU packet.
+  if (16 + cfg.value_bytes > 4096)
+    return fail("value_bytes too large (record must fit one 4KiB MTU)");
+  return std::make_unique<motifs::KvStoreMotif>(cfg);
+}
+
+std::unique_ptr<motifs::ApiMotif> build_alltoall_spec(
+    const ScenarioSpec& spec, std::string* error) {
+  ParamReader reader(spec.motif_params);
+  motifs::AllToAllConfig cfg;
+  cfg.bytes = reader.get_size("bytes", cfg.bytes);
+  cfg.iterations = reader.get_int("iterations", cfg.iterations);
+  if (!finish_params(reader, "alltoall", error)) return nullptr;
+  auto fail = [&](const char* msg) {
+    if (error != nullptr) *error = std::string("alltoall: ") + msg;
+    return nullptr;
+  };
+  if (spec.nodes < 2) return fail("needs >= 2 nodes");
+  if (cfg.bytes == 0) return fail("bytes must be > 0");
+  if (cfg.iterations < 1 || cfg.iterations > 512)
+    return fail("iterations must be in [1, 512]");
+  return std::make_unique<motifs::AllToAllMotif>(cfg);
+}
+
+MotifEntry api_entry(std::string description,
+                     std::unique_ptr<motifs::ApiMotif> (*build_api)(
+                         const ScenarioSpec&, std::string*)) {
+  MotifEntry entry;
+  entry.description = std::move(description);
+  entry.build_api = build_api;
+  return entry;
+}
+
 }  // namespace
 
 void register_builtin_motifs(Registry<MotifEntry>& reg) {
+  reg.add("remote_paging",
+          api_entry("page faults served by remote 4KiB rvma_get fetches",
+                    build_remote_paging_spec));
+  reg.add("kv_store",
+          api_entry("closed-loop KV clients vs catch-all mailbox servers",
+                    build_kv_store_spec));
+  reg.add("alltoall",
+          api_entry("full personalized exchange, one window per iteration",
+                    build_alltoall_spec));
   reg.add("halo3d", {"3-D face exchange, bandwidth-bound (paper Fig. 8)",
                      build_halo3d_spec});
   reg.add("sweep3d", {"KBA wavefront sweep, latency-bound (paper Fig. 7)",

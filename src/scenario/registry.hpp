@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "motifs/api_motif.hpp"
 #include "motifs/runner.hpp"
 #include "net/topology.hpp"
 #include "scenario/spec.hpp"
@@ -44,6 +45,14 @@ struct MotifEntry {
   std::function<std::vector<motifs::RankProgram>(const ScenarioSpec& spec,
                                                  std::string* error)>
       build;
+  /// API-layer motif: when set, `build` is unused and run_scenario runs
+  /// the returned motif directly against the public rvma.h surface. The
+  /// spec's transport field is ignored for these motifs — the API layer
+  /// *is* the transport (see motifs/api_motif.hpp). Same purity contract
+  /// as `build`; returns nullptr with *error set on bad parameters.
+  std::function<std::unique_ptr<motifs::ApiMotif>(const ScenarioSpec& spec,
+                                                  std::string* error)>
+      build_api{};
 };
 
 template <typename Entry>

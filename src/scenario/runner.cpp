@@ -111,6 +111,13 @@ bool validate_scenario(const ScenarioSpec& spec, std::string* error) {
   const MotifEntry* motif = nullptr;
   if (!resolve(spec, &cfg, &transport, &motif, error)) return false;
   std::string build_error;
+  if (motif->build_api) {
+    if (motif->build_api(spec, &build_error) == nullptr) {
+      if (error != nullptr) *error = build_error;
+      return false;
+    }
+    return true;
+  }
   if (motif->build(spec, &build_error).empty() && !build_error.empty()) {
     if (error != nullptr) *error = build_error;
     return false;
@@ -136,7 +143,9 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   int shards = spec.par_shards;
   if (spec.sample_period > 0) shards = 1;
   const auto t_build0 = std::chrono::steady_clock::now();
-  cluster::Cluster cluster(cfg, nic::NicParams{}, shards);
+  nic::NicParams nic_params;
+  nic_params.doorbell_batch = static_cast<std::uint32_t>(spec.doorbell_batch);
+  cluster::Cluster cluster(cfg, nic_params, shards);
   const auto t_build1 = std::chrono::steady_clock::now();
   // Stamp the run id even when keeping the process-default sink: serial
   // grids funnel every run through Tracer::global(), and without distinct
@@ -167,18 +176,44 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
   }
   if (!spec.pdes_profile_path.empty()) cluster.enable_pdes_profiling();
 
+  // Either interpret per-rank programs over a transport (classic path)
+  // or run an API-layer motif straight against rvma.h contexts. The API
+  // path builds no transport at all: transports create endpoints, and a
+  // second endpoint per (node, pid) would replace the packet handler the
+  // motif's own contexts registered.
   std::string build_error;
-  auto programs = motif_entry->build(spec, &build_error);
-  if (programs.empty() && !build_error.empty()) {
-    if (error != nullptr) *error = build_error;
-    return false;
+  Time makespan = 0;
+  std::uint64_t engine_events = 0;
+  std::chrono::steady_clock::time_point t_sim0, t_sim1;
+  if (motif_entry->build_api) {
+    std::unique_ptr<motifs::ApiMotif> api_motif =
+        motif_entry->build_api(spec, &build_error);
+    if (api_motif == nullptr) {
+      if (error != nullptr) *error = build_error;
+      return false;
+    }
+    t_sim0 = std::chrono::steady_clock::now();
+    const motifs::ApiMotifResult result = api_motif->run(cluster);
+    t_sim1 = std::chrono::steady_clock::now();
+    makespan = result.makespan;
+    for (int k = 0; k < cluster.num_shards(); ++k) {
+      engine_events += cluster.engine_for_shard(k).executed_events();
+    }
+  } else {
+    auto programs = motif_entry->build(spec, &build_error);
+    if (programs.empty() && !build_error.empty()) {
+      if (error != nullptr) *error = build_error;
+      return false;
+    }
+    std::unique_ptr<motifs::Transport> transport =
+        transport_entry->make(cluster, spec);
+    t_sim0 = std::chrono::steady_clock::now();
+    const motifs::MotifResult result =
+        motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
+    t_sim1 = std::chrono::steady_clock::now();
+    makespan = result.makespan;
+    engine_events = result.engine_events;
   }
-  std::unique_ptr<motifs::Transport> transport =
-      transport_entry->make(cluster, spec);
-  const auto t_sim0 = std::chrono::steady_clock::now();
-  const motifs::MotifResult result =
-      motifs::MotifRunner(cluster, *transport, std::move(programs)).run();
-  const auto t_sim1 = std::chrono::steady_clock::now();
   if (!shard_tracers.empty()) merge_shard_traces(shard_tracers, trace_sink);
   if (!spec.flight_recorder_path.empty()) {
     std::string dump_error;
@@ -214,11 +249,11 @@ bool run_scenario(const ScenarioSpec& spec, ScenarioResult* out,
 
   const net::FabricStats fabric = cluster.fabric_stats();
   ScenarioResult res;
-  res.makespan = result.makespan;
+  res.makespan = makespan;
   res.packets_injected = fabric.packets_injected;
   res.packets_delivered = fabric.packets_delivered;
   res.route_cache_hits = fabric.route_cache_hits;
-  res.engine_events = result.engine_events;
+  res.engine_events = engine_events;
   res.trace_events = trace_sink != nullptr ? trace_sink->events_written() : 0;
   res.metrics = cluster.collect_metrics();
   if (spec.sample_period > 0) res.series = cluster.sampler().take_series();

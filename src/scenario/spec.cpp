@@ -79,8 +79,14 @@ void append_spec_object(std::string* out, const ScenarioSpec& spec,
   append_quoted(out, spec.transport);
   out->append(",\n");
   out->append(in3).append("\"rdma_slots\": ")
-      .append(std::to_string(spec.rdma_slots))
-      .append("\n");
+      .append(std::to_string(spec.rdma_slots));
+  // Default-valued doorbell_batch is omitted so pre-existing specs (and
+  // their golden bytes) round-trip unchanged.
+  if (spec.doorbell_batch != 1) {
+    out->append(",\n").append(in3).append("\"doorbell_batch\": ")
+        .append(std::to_string(spec.doorbell_batch));
+  }
+  out->append("\n");
   out->append(in2).append("},\n");
   out->append(in2).append("\"motif\": {\n");
   out->append(in3).append("\"kind\": ");
@@ -186,6 +192,11 @@ bool parse_spec_object(const obs::JsonValue& root, ScenarioSpec* out,
     if (const auto* v = transport->find("kind")) spec.transport = v->string;
     if (const auto* v = transport->find("rdma_slots"))
       spec.rdma_slots = static_cast<int>(v->as_i64(spec.rdma_slots));
+    if (const auto* v = transport->find("doorbell_batch")) {
+      spec.doorbell_batch = static_cast<int>(v->as_i64(spec.doorbell_batch));
+      if (spec.doorbell_batch < 1)
+        return fail("scenario: doorbell_batch must be >= 1");
+    }
   }
   const auto* motif = root.find("motif");
   if (motif != nullptr) {
@@ -360,6 +371,10 @@ bool apply_cli_overlay(const Cli& cli, ScenarioSpec* spec,
   spec->transport = cli.get("transport", spec->transport);
   spec->rdma_slots =
       static_cast<int>(cli.get_int("rdma-slots", spec->rdma_slots));
+  spec->doorbell_batch =
+      static_cast<int>(cli.get_int("doorbell-batch", spec->doorbell_batch));
+  if (spec->doorbell_batch < 1)
+    return fail("bad --doorbell-batch (must be >= 1)");
   spec->motif = cli.get("motif", spec->motif);
   for (const auto& [key, value] : cli.take_prefixed("motif.")) {
     spec->motif_params[key] = value;

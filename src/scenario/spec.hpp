@@ -57,6 +57,10 @@ struct ScenarioSpec {
   /// RDMA credit-pipeline depth (registered slots per channel); read only
   /// by the rdma backend.
   int rdma_slots = 2;
+  /// NIC doorbell batching depth (nic::NicParams::doorbell_batch): how
+  /// many send descriptors may ride one PCIe doorbell crossing. 1 rings
+  /// per message and reproduces the unbatched model byte-for-byte.
+  int doorbell_batch = 1;
 
   // ---- motif ----
   std::string motif = "halo3d";  ///< MotifRegistry key
@@ -128,7 +132,8 @@ bool looks_like_grid(const std::string& text);
 /// --bandwidth, --link-latency, --long-link-latency, --switch-latency,
 /// --xbar-factor,
 /// --concentration, --no-express/--express, --route-table, --transport,
-/// --rdma-slots, --motif, --motif.<param>=<value>, --seed, --par-shards,
+/// --rdma-slots, --doorbell-batch, --motif, --motif.<param>=<value>,
+/// --seed, --par-shards,
 /// --sample-period, --metrics, --flight-recorder,
 /// --flight-recorder-capacity, --pdes-profile.
 /// Flags win over file values. Returns false with *error set on

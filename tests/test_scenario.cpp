@@ -42,6 +42,7 @@ ScenarioSpec full_spec() {
   spec.express = false;
   spec.transport = "rdma";
   spec.rdma_slots = 4;
+  spec.doorbell_batch = 3;
   spec.motif = "sweep3d";
   spec.motif_params = {{"nx", "48"}, {"compute_per_cell", "20ps"},
                        {"bytes", "64KiB"}};
@@ -192,6 +193,9 @@ const std::map<std::string, MotifParams>& smoke_motif_params() {
       {"barrier", {{"iterations", "1"}}},
       {"allreduce", {{"bytes", "4KiB"}, {"iterations", "1"}}},
       {"broadcast", {{"bytes", "4KiB"}, {"iterations", "1"}}},
+      {"remote_paging", {{"pages_per_rank", "4"}, {"faults", "4"}}},
+      {"kv_store", {{"servers", "1"}, {"requests", "2"}}},
+      {"alltoall", {{"bytes", "4KiB"}, {"iterations", "1"}}},
   };
   return params;
 }

@@ -413,5 +413,80 @@ fi
 echo "paper-scale: completed in ${paper_wall}s, peak rss" \
   "${paper_rss:-unknown} bytes (budgets: 60s, 1 GiB)"
 
+# --- Motif registry completeness gate -----------------------------------
+# `rvma_run --list` must name every built-in motif, including the
+# rvma.h API-layer ones (remote_paging / kv_store / alltoall) — a motif
+# that never registers cannot be swept by any grid.
+for motif in allreduce alltoall barrier broadcast halo3d incast kv_store \
+  remote_paging sweep3d
+do
+  if ! "$build_dir/tools/rvma_run" --list | grep -q "^  $motif "; then
+    echo "ERROR: rvma_run --list does not name motif \"$motif\"" >&2
+    exit 1
+  fi
+done
+echo "registry: rvma_run --list names all 9 built-in motifs"
+
+# --- KV-store doorbell-batching gate ------------------------------------
+# The RDMAbox-style doorbell batching knob must be a pure NIC-occupancy
+# optimization: --doorbell-batch=1 must reproduce the unbatched run
+# byte-for-byte (table and metrics), while --doorbell-batch=8 must merge
+# a strictly positive number of doorbells — and every send still crosses
+# PCIe exactly once (doorbells + merged is conserved).
+echo "kv: doorbell-batching ablation (kv_store, 16 nodes, 4 servers)"
+printf '{"format": "rvma-scenario-v1", "scenario": {}}\n' \
+  > "$tmp_dir/kv_cell.json"
+kv_run() {
+  "$build_dir/tools/rvma_run" "$tmp_dir/kv_cell.json" \
+    --topology=fattree --nodes=16 --transport=rvma --motif=kv_store \
+    --motif.servers=4 --motif.requests=64 --motif.outstanding=4 "$@"
+}
+kv_run --metrics="$tmp_dir/kv_plain.json" > "$tmp_dir/kv_plain.txt"
+kv_run --doorbell-batch=1 --metrics="$tmp_dir/kv_b1.json" \
+  > "$tmp_dir/kv_b1.txt"
+kv_run --doorbell-batch=8 --metrics="$tmp_dir/kv_b8.json" \
+  > "$tmp_dir/kv_b8.txt"
+sed 's/^metrics written.*//' "$tmp_dir/kv_plain.txt" > "$tmp_dir/kv_plain.flt"
+sed 's/^metrics written.*//' "$tmp_dir/kv_b1.txt" > "$tmp_dir/kv_b1.flt"
+if ! diff -u "$tmp_dir/kv_plain.flt" "$tmp_dir/kv_b1.flt" \
+  || ! cmp -s "$tmp_dir/kv_plain.json" "$tmp_dir/kv_b1.json"
+then
+  echo "ERROR: --doorbell-batch=1 changed the kv_store run" >&2
+  exit 1
+fi
+kv_doorbells() { sed -n 's/.*"nic.doorbells": *\([0-9]*\).*/\1/p' "$1"; }
+kv_merged() {
+  sed -n 's/.*"nic.doorbells_merged": *\([0-9]*\).*/\1/p' "$1"
+}
+db_plain=$(kv_doorbells "$tmp_dir/kv_plain.json")
+db_b8=$(kv_doorbells "$tmp_dir/kv_b8.json")
+merged_b8=$(kv_merged "$tmp_dir/kv_b8.json")
+if [ "$merged_b8" -le 0 ] || [ "$db_b8" -ge "$db_plain" ] \
+  || [ $((db_b8 + merged_b8)) -ne "$db_plain" ]
+then
+  echo "ERROR: doorbell batching broken: plain=$db_plain batch8=$db_b8" \
+    "merged=$merged_b8" >&2
+  exit 1
+fi
+kv_makespan_ms=$(sed -n 's/.*makespan: \([0-9.]*\) ms.*/\1/p' \
+  "$tmp_dir/kv_plain.txt")
+kv_requests=$(sed -n 's/.*"kv.requests": *\([0-9]*\).*/\1/p' \
+  "$tmp_dir/kv_plain.json")
+kv_rps=$(awk -v r="$kv_requests" -v ms="$kv_makespan_ms" \
+  'BEGIN { printf "%d", r / (ms / 1000) }')
+echo "kv gate: $db_plain doorbells unbatched vs $db_b8 at batch=8" \
+  "($merged_b8 merged); $kv_requests requests in ${kv_makespan_ms} ms" \
+  "= $kv_rps req/s simulated"
+
+# Record the kv_store block in BENCH_engine.json (the engine bench wrote
+# the file fresh above, so this append never duplicates).
+kv_json=$(mktemp)
+sed '$d' "$repo_root/BENCH_engine.json" > "$kv_json"
+printf ',\n  "kv_store": {"nodes": 16, "servers": 4, "requests": %s, "makespan_ms": %s, "requests_per_sec_sim": %s, "doorbells_unbatched": %s, "doorbells_batch8": %s, "doorbells_merged_batch8": %s}\n}\n' \
+  "$kv_requests" "$kv_makespan_ms" "$kv_rps" \
+  "$db_plain" "$db_b8" "$merged_b8" >> "$kv_json"
+mv "$kv_json" "$repo_root/BENCH_engine.json"
+echo "kv: block recorded in BENCH_engine.json"
+
 cat "$tmp_dir/parallel.txt"
 echo "wrote $repo_root/BENCH_sweep.json"

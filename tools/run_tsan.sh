@@ -16,7 +16,10 @@
 # the lookahead-matrix tests (per-destination windows, unreachable-pair
 # handling, and windowed-vs-serial identity at K in {2,3,5}),
 # and the flight-recorder tests (per-shard rings attached to windowed
-# engines plus the per-shard buffered-tracer merge in ScenarioRunner).
+# engines plus the per-shard buffered-tracer merge in ScenarioRunner),
+# and the rvma.h API tests (API-motif contexts driven from shard threads:
+# per-rank endpoint state, cross-shard puts/gets, and the serial-vs-
+# sharded identity runs for remote_paging / kv_store / alltoall).
 #
 # Usage: tools/run_tsan.sh [build-dir]
 set -eu
@@ -30,11 +33,11 @@ cmake --build "$build_dir" --target \
   test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
   test_scenario test_pdes test_pdes_matrix test_flight_recorder \
-  -j "$(nproc)"
+  test_api -j "$(nproc)"
 
 for test in test_sweep_executor test_sweep_determinism test_fabric_features \
   test_routing_algebra test_express_exactness test_nic test_obs \
-  test_scenario test_pdes test_pdes_matrix test_flight_recorder
+  test_scenario test_pdes test_pdes_matrix test_flight_recorder test_api
 do
   echo "== tsan: $test =="
   "$build_dir/tests/$test"
