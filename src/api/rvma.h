@@ -26,7 +26,11 @@
 // Lifetime: rvma_finalize() releases every window handle still registered
 // with the context; outstanding rvma_win pointers become invalid then.
 // Release windows early with rvma_release(); drop just the handle (the
-// window itself stays live) with rvma_win_free().
+// window itself stays live) with rvma_win_free() — the window's internal
+// completion slot is context-owned, so completions arriving after the
+// handle is freed stay safe. Finalize only when the context is quiescent:
+// rvma_flush(ctx, RVMA_ALL_PROCS) == RVMA_SUCCESS and no completion is
+// mid-delivery (in practice, after the simulation has drained).
 #ifndef RVMA_API_RVMA_H_
 #define RVMA_API_RVMA_H_
 

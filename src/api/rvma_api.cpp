@@ -12,6 +12,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <utility>
 #include <vector>
@@ -58,13 +59,25 @@ uint64_t derive_key(uint64_t vaddr) { return vaddr * 0x9e3779b97f4a7c15ULL; }
 struct rvma_win_s {
   rvma_ctx ctx = nullptr;
   uint64_t vaddr = 0;
-  /// Context-owned completion slot used when the caller did not supply
-  /// one (capture path): word0 = completed buffer head, word1 = length.
-  void* notif = nullptr;
-  int64_t len = 0;
   rvma_notify_fn observer = nullptr;
   void* observer_arg = nullptr;
 };
+
+namespace {
+
+/// Heap-held state for one auto-captured rvma_get reply window; freed by
+/// the one-shot completion callback, or by rvma_finalize if the reply
+/// never arrives.
+struct ReplySlot {
+  rvma_ctx ctx;
+  uint64_t vaddr;
+  rvma_notify_fn fn;
+  void* arg;
+  void* notif = nullptr;
+  int64_t len = 0;
+};
+
+}  // namespace
 
 struct rvma_ctx_s {
   RvmaEndpoint* ep = nullptr;
@@ -93,6 +106,32 @@ struct rvma_ctx_s {
   /// the user observer without capturing a handle that rvma_win_free may
   /// have deleted.
   std::map<uint64_t, rvma_win_s*> wins;
+
+  /// Every vaddr install_observer has armed on the endpoint. The endpoint
+  /// observer captures this ctx raw, and it outlives the rvma_win handle
+  /// (rvma_win_free erases from `wins` but keeps the window — and the
+  /// observer — live), so finalize must walk this set, not `wins`, to
+  /// disarm them all.
+  std::set<uint64_t> observed;
+
+  /// Internal two-word completion regions (head, length) for windows whose
+  /// caller did not supply a notification pointer (capture path and
+  /// rvma_post_buffer with NULL). The endpoint keeps raw pointers into
+  /// these — in posted buffers and in already-scheduled completion-pointer
+  /// writes — so their lifetime must match the *context*, not any rvma_win
+  /// handle: rvma_win_free/rvma_release delete the handle while the window
+  /// (or a pending write) can still be live. std::map node addresses are
+  /// stable; slots are reclaimed only with the ctx in rvma_finalize.
+  struct Slot {
+    void* notif = nullptr;
+    int64_t len = 0;
+  };
+  std::map<uint64_t, Slot> slots;
+
+  /// Outstanding auto-captured rvma_get reply windows, so rvma_finalize
+  /// can tear down the endpoint-side waiters (which capture this ctx raw)
+  /// and reclaim the slots when a reply never arrived.
+  std::map<uint64_t, ReplySlot*> replies;
   uint64_t reply_seq = 0;
 };
 
@@ -106,14 +145,13 @@ void push_token(rvma_ctx ctx, uint64_t vaddr, void* buf, int64_t len) {
 /// One endpoint-level observer per API window: queue a poll token, then
 /// forward to the handle's user observer if one is set.
 void install_observer(rvma_ctx ctx, uint64_t vaddr) {
+  ctx->observed.insert(vaddr);
   ctx->ep->set_completion_observer(vaddr, [ctx, vaddr](void* buf,
                                                        int64_t len) {
     push_token(ctx, vaddr, buf, len);
     const auto it = ctx->wins.find(vaddr);
     if (it == ctx->wins.end()) return;
     rvma_win_s* win = it->second;
-    win->notif = buf;
-    win->len = len;
     if (win->observer != nullptr) win->observer(win->observer_arg, buf, len);
   });
 }
@@ -160,17 +198,6 @@ rvma_status do_put(rvma_ctx ctx, const void* local, int32_t proc,
   return RVMA_SUCCESS;
 }
 
-/// Heap-held state for one auto-captured rvma_get reply window; freed by
-/// the one-shot completion callback.
-struct ReplySlot {
-  rvma_ctx ctx;
-  uint64_t vaddr;
-  rvma_notify_fn fn;
-  void* arg;
-  void* notif = nullptr;
-  int64_t len = 0;
-};
-
 }  // namespace
 
 extern "C" {
@@ -198,8 +225,31 @@ rvma_ctx rvma_wrap_endpoint(void* endpoint) {
 
 void rvma_finalize(rvma_ctx ctx) {
   if (ctx == nullptr) return;
+  // The per-vaddr observers installed by install_observer capture this
+  // ctx raw; on a wrapped (borrowed) endpoint they would outlive it and
+  // fire into freed memory on the next completion. Disarm every vaddr
+  // ever observed — `wins` is not enough, rvma_win_free drops the handle
+  // from it while the window and its observer stay live.
+  for (const uint64_t vaddr : ctx->observed) {
+    ctx->ep->set_completion_observer(vaddr, nullptr);
+  }
+  ctx->observed.clear();
   for (const auto& [vaddr, win] : ctx->wins) delete win;
   ctx->wins.clear();
+  // Posted buffers registered against ctx-owned completion slots: on a
+  // borrowed endpoint the windows outlive this ctx, so detach the slot
+  // pointers before the slots are freed with it.
+  for (auto& [vaddr, slot] : ctx->slots) {
+    ctx->ep->detach_notification(vaddr, &slot.notif, &slot.len);
+  }
+  // Auto-captured reply windows whose get never completed: freeing the
+  // window drops the endpoint-side waiter (which captures ctx and the
+  // slot), then the slot itself can be reclaimed.
+  for (const auto& [vaddr, slot] : ctx->replies) {
+    ctx->ep->free_window(vaddr);
+    delete slot;
+  }
+  ctx->replies.clear();
   delete ctx;
 }
 
@@ -210,11 +260,12 @@ rvma_win rvma_capture_at(rvma_ctx ctx, uint64_t virtual_addr, void* data,
   if (ctx == nullptr || data == nullptr || bytes <= 0) return nullptr;
   ctx->ep->init_window(virtual_addr, bytes, EpochType::kBytes);
   rvma_win win = make_win(ctx, virtual_addr);
+  rvma_ctx_s::Slot& slot = ctx->slots[virtual_addr];
   const rvma::Status st = ctx->ep->post_buffer(
       virtual_addr,
       std::span<std::byte>(static_cast<std::byte*>(data),
                            static_cast<std::size_t>(bytes)),
-      &win->notif, &win->len);
+      &slot.notif, &slot.len);
   if (!rvma::ok(st)) {
     ctx->ep->free_window(virtual_addr);
     ctx->wins.erase(virtual_addr);
@@ -266,8 +317,10 @@ rvma_status rvma_get_ex(rvma_ctx ctx, int32_t proc, uint64_t virtual_addr,
                              fn(arg, buf, len);
                            });
     }
+    note_initiated(ctx, proc);
     ctx->ep->get(proc, virtual_addr, static_cast<uint64_t>(offset),
-                 static_cast<uint64_t>(bytes), reply_virtual_addr);
+                 static_cast<uint64_t>(bytes), reply_virtual_addr,
+                 /*dst_pid=*/0, [ctx, proc] { note_completed(ctx, proc); });
     return RVMA_SUCCESS;
   }
   // Auto-capture: a one-epoch reply window over `local`, torn down by its
@@ -286,15 +339,19 @@ rvma_status rvma_get_ex(rvma_ctx ctx, int32_t proc, uint64_t virtual_addr,
     delete slot;
     return to_c(st);
   }
+  ctx->replies[reply] = slot;
   ctx->ep->notify_wait(reply, [slot](void* buf, int64_t len) {
     rvma_ctx sctx = slot->ctx;
     push_token(sctx, slot->vaddr, buf, len);
     if (slot->fn != nullptr) slot->fn(slot->arg, buf, len);
     sctx->ep->free_window(slot->vaddr);
+    sctx->replies.erase(slot->vaddr);
     delete slot;
   });
+  note_initiated(ctx, proc);
   ctx->ep->get(proc, virtual_addr, static_cast<uint64_t>(offset),
-               static_cast<uint64_t>(bytes), reply);
+               static_cast<uint64_t>(bytes), reply,
+               /*dst_pid=*/0, [ctx, proc] { note_completed(ctx, proc); });
   return RVMA_SUCCESS;
 }
 
@@ -363,12 +420,18 @@ rvma_status rvma_post_buffer(rvma_win win, void* buffer, int64_t size,
     return RVMA_ERR_INVALID;
   // Completion slot: the caller's two-word region (head word at
   // notification_ptr, length at notification_ptr + 1 — paper §III-B), or
-  // the handle's internal pair when the caller passes NULL.
-  void** notif = &win->notif;
-  int64_t* len = &win->len;
+  // the context-owned pair for this vaddr when the caller passes NULL
+  // (ctx-owned, not handle-owned: the endpoint keeps these pointers past
+  // rvma_win_free/rvma_release).
+  void** notif;
+  int64_t* len;
   if (notification_ptr != nullptr) {
     notif = notification_ptr;
     len = reinterpret_cast<int64_t*>(notification_ptr + 1);
+  } else {
+    rvma_ctx_s::Slot& slot = win->ctx->slots[win->vaddr];
+    notif = &slot.notif;
+    len = &slot.len;
   }
   return to_c(win->ctx->ep->post_buffer(
       win->vaddr,

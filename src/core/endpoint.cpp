@@ -187,7 +187,19 @@ void RvmaEndpoint::notify_wait(std::uint64_t vaddr, NotifyFn fn) {
 }
 
 void RvmaEndpoint::set_completion_observer(std::uint64_t vaddr, NotifyFn fn) {
-  observers_[vaddr] = std::move(fn);
+  // A null fn clears the observer (erase, never store an empty function:
+  // the completion unit invokes whatever it finds).
+  if (fn) {
+    observers_[vaddr] = std::move(fn);
+  } else {
+    observers_.erase(vaddr);
+  }
+}
+
+void RvmaEndpoint::detach_notification(std::uint64_t vaddr, void** notif_ptr,
+                                       std::int64_t* len_ptr) {
+  const auto it = lut_.find(vaddr);
+  if (it != lut_.end()) it->second->detach_notifications(notif_ptr, len_ptr);
 }
 
 void RvmaEndpoint::set_op_observer(std::uint64_t vaddr, OpObserver fn) {
@@ -238,7 +250,7 @@ void RvmaEndpoint::put_owned(NodeId dst, std::uint64_t vaddr,
 
 void RvmaEndpoint::get(NodeId dst, std::uint64_t vaddr, std::uint64_t offset,
                        std::uint64_t bytes, std::uint64_t reply_vaddr,
-                       net::Pid dst_pid) {
+                       net::Pid dst_pid, std::function<void()> on_sent) {
   net::Message msg;
   msg.dst = dst;
   msg.bytes = params_.ctrl_bytes;
@@ -249,7 +261,7 @@ void RvmaEndpoint::get(NodeId dst, std::uint64_t vaddr, std::uint64_t offset,
   msg.hdr.offset = offset;
   msg.hdr.imm = bytes;
   msg.hdr.imm2 = reply_vaddr;
-  nic_.send(std::move(msg));
+  nic_.send(std::move(msg), std::move(on_sent));
 }
 
 void RvmaEndpoint::send_nack(NodeId to, net::Pid to_pid, std::uint64_t vaddr,

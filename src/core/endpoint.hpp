@@ -121,7 +121,15 @@ class RvmaEndpoint {
   /// Persistent observer invoked for *every* completion on `vaddr` (same
   /// timing as notify_wait). Middleware (e.g. the motif transport) uses
   /// this to avoid re-arm races between back-to-back completions.
+  /// A null fn clears the observer.
   void set_completion_observer(std::uint64_t vaddr, NotifyFn fn);
+
+  /// Null out the completion-pointer locations of buffers posted to
+  /// `vaddr` that equal exactly (notif_ptr, len_ptr). api/rvma.h uses
+  /// this when a context whose memory holds those words is finalized
+  /// while the window — on a borrowed endpoint — stays live.
+  void detach_notification(std::uint64_t vaddr, void** notif_ptr,
+                           std::int64_t* len_ptr);
 
   /// Persistent observer invoked whenever a put *operation* fully arrives
   /// on `vaddr` (every packet placed), with the active buffer's operation
@@ -153,10 +161,12 @@ class RvmaEndpoint {
                  std::function<void()> on_sent = {});
 
   /// RVMA get: ask `dst` to put `bytes` from its active buffer at `vaddr`
-  /// (from `offset`) into this node's `reply_vaddr` mailbox.
+  /// (from `offset`) into this node's `reply_vaddr` mailbox. `on_sent`
+  /// fires when the request has been handed to the wire (the initiator's
+  /// local-completion point, mirroring put's).
   void get(NodeId dst, std::uint64_t vaddr, std::uint64_t offset,
            std::uint64_t bytes, std::uint64_t reply_vaddr,
-           net::Pid dst_pid = 0);
+           net::Pid dst_pid = 0, std::function<void()> on_sent = {});
 
   /// Observe NACKs for puts this node initiated.
   void on_nack(NackFn fn) { nack_fn_ = std::move(fn); }

@@ -140,6 +140,17 @@ class Mailbox {
   /// Notification pointers of currently queued buffers, oldest first.
   int collect_notif_ptrs(void** out, int count) const;
 
+  /// Null the completion-pointer locations of queued buffers that point
+  /// at exactly (notif_ptr, len_ptr) — for middleware tearing down its
+  /// completion storage while the window stays live. Buffers registered
+  /// with other locations are untouched.
+  void detach_notifications(void** notif_ptr, std::int64_t* len_ptr) {
+    for (PostedBuffer& b : queue_) {
+      if (b.notif_ptr == notif_ptr) b.notif_ptr = nullptr;
+      if (b.len_ptr == len_ptr) b.len_ptr = nullptr;
+    }
+  }
+
   const std::deque<PostedBuffer>& queue() const { return queue_; }
   const std::vector<RetiredBuffer>& retired() const { return retired_; }
   std::uint64_t completed_count() const { return completed_count_; }

@@ -18,9 +18,13 @@
  *    time it is seen on the calling thread and caches it for the thread's
  *    lifetime (the contexts are intentionally never freed — same handle
  *    lifetime the original shim had).
- *  - RVMA_Get now fails loudly with RVMA_ERR_NO_MAILBOX when
- *    `reply_virtual_addr` does not name an already-posted local mailbox
- *    (it used to issue the get and let the reply be dropped silently).
+ *  - RVMA_Get error behavior is tightened: a NULL `reply_virtual_addr`
+ *    returns RVMA_ERR_INVALID and an address that does not name an
+ *    already-initialized, posted local mailbox returns
+ *    RVMA_ERR_NO_MAILBOX — both rejected at call time. The old shim
+ *    issued the get anyway and silently dropped the reply; callers that
+ *    ignore the returned status now perform no operation at all instead
+ *    of a get whose reply vanished.
  *
  * Notification convention (paper §III-B): `notification_ptr` names the
  * first word of a cache-line-aligned, two-word region. On completion the
@@ -99,7 +103,9 @@ RVMA_Status RVMA_Put_offset(void* send_buffer, int64_t size, int64_t offset,
 /* Get: fetch `size` bytes at `offset` from the remote mailbox's active
  * buffer; the response arrives as an ordinary put into the local
  * `reply_virtual_addr` mailbox, which must already be initialized and
- * posted — RVMA_ERR_NO_MAILBOX otherwise. */
+ * posted — NULL is rejected with RVMA_ERR_INVALID and an unknown
+ * address with RVMA_ERR_NO_MAILBOX, both before any request is sent
+ * (the old implementation issued the get and dropped the reply). */
 RVMA_Status RVMA_Get(int64_t size, int64_t offset, rvma_addr_in* src_addr,
                      void* virtual_addr, void* reply_virtual_addr);
 

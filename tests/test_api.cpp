@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -237,6 +238,70 @@ TEST_F(ApiTest, ObserverSeesEveryCompletion) {
   cluster_.engine().run();
   EXPECT_EQ(count, 2);
   EXPECT_EQ(rvma_release(b_, win), RVMA_SUCCESS);
+}
+
+TEST_F(ApiTest, WinFreeKeepsLiveWindowSafe) {
+  // rvma_win_free drops the handle while the window — and its posted
+  // buffer's completion registration — stays live. The completion slot is
+  // context-owned, so the later epoch roll must not touch freed memory
+  // and the completion stays pollable.
+  std::vector<unsigned char> dst(32, 0);
+  rvma_win win = rvma_capture_at(b_, 0x8000, dst.data(), 32);
+  ASSERT_NE(win, nullptr);
+  rvma_win_free(win);
+
+  std::vector<unsigned char> payload(32, 0x42);
+  ASSERT_EQ(rvma_put(a_, payload.data(), 1, 0x8000, 32), RVMA_SUCCESS);
+  cluster_.engine().run();
+
+  EXPECT_EQ(dst[0], 0x42);
+  rvma_completion c{};
+  ASSERT_EQ(rvma_poll(b_, &c), 1);
+  EXPECT_EQ(c.virtual_addr, 0x8000u);
+  EXPECT_EQ(c.len, 32);
+}
+
+TEST_F(ApiTest, FlushCoversGets) {
+  // The rvma.h contract counts gets in flush: PENDING until the get
+  // request has been handed to the NIC injection link.
+  std::vector<unsigned char> data(64, 0x5A);
+  rvma_win src = rvma_capture_at(b_, 0x9000, data.data(), 64);
+  ASSERT_NE(src, nullptr);
+
+  std::vector<unsigned char> local(64, 0);
+  EXPECT_EQ(rvma_flush(a_, 1), RVMA_SUCCESS);
+  ASSERT_EQ(rvma_get(a_, 1, 0x9000, 64, local.data()), RVMA_SUCCESS);
+  EXPECT_EQ(rvma_flush(a_, 1), RVMA_ERR_PENDING);
+  EXPECT_EQ(rvma_flush(a_, RVMA_ALL_PROCS), RVMA_ERR_PENDING);
+  cluster_.engine().run();
+  EXPECT_EQ(rvma_flush(a_, 1), RVMA_SUCCESS);
+  EXPECT_EQ(rvma_flush(a_, RVMA_ALL_PROCS), RVMA_SUCCESS);
+  EXPECT_EQ(local[0], 0x5A);
+  EXPECT_EQ(rvma_release(b_, src), RVMA_SUCCESS);
+}
+
+TEST_F(ApiTest, FinalizeOnWrappedEndpointDetachesState) {
+  // A borrowed endpoint survives its wrapping ctx. Finalize must remove
+  // every endpoint-side reference into the dead ctx — the per-vaddr
+  // completion observers and the ctx-owned completion slots posted
+  // buffers were registered with — so a later completion on the still
+  // live window touches neither.
+  auto ep = std::make_unique<rvma::core::RvmaEndpoint>(
+      cluster_.nic(1), rvma::core::RvmaParams{});
+  rvma_ctx wrapped = rvma_wrap_endpoint(ep.get());
+  ASSERT_NE(wrapped, nullptr);
+  std::vector<unsigned char> dst(32, 0);
+  rvma_win win = rvma_capture_at(wrapped, 0xA000, dst.data(), 32);
+  ASSERT_NE(win, nullptr);
+  rvma_win_free(win);
+  rvma_finalize(wrapped);  // ctx gone; window on `ep` still live
+
+  std::vector<unsigned char> payload(32, 0x77);
+  ASSERT_EQ(rvma_put(a_, payload.data(), 1, 0xA000, 32), RVMA_SUCCESS);
+  cluster_.engine().run();
+
+  EXPECT_EQ(dst[0], 0x77);  // payload still lands
+  EXPECT_EQ(ep->completions(0xA000), 1u);
 }
 
 // ---- API-motif byte-identity gates -------------------------------------
